@@ -1,0 +1,76 @@
+"""Ablation: written-row capture protocol (§4.1).
+
+Engines with ``RETURNING *`` hand Synapse the written rows for free;
+engines without (MySQL, Cassandra) need an additional read query — "safe
+but somewhat more expensive". We measure the end-to-end publish cost on
+both protocols and the extra engine reads they cause.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import emit, format_table
+from repro.core import Ecosystem
+from repro.databases.columnar import CassandraLike
+from repro.databases.document import MongoLike
+from repro.databases.relational import MySQLLike, PostgresLike
+from repro.orm import Field, Model
+
+WRITES = 800
+
+ENGINES = [
+    ("PostgreSQL (RETURNING)", lambda: PostgresLike("pg")),
+    ("MongoDB (returns writes)", lambda: MongoLike("mo")),
+    ("MySQL (read-back)", lambda: MySQLLike("my")),
+    ("Cassandra (read-back)", lambda: CassandraLike("ca")),
+]
+
+
+def measure(factory):
+    eco = Ecosystem()
+    db = factory()
+    service = eco.service("pub", database=db)
+
+    @service.model(publish=["body"], name="Post")
+    class Post(Model):
+        body = Field(str)
+
+    db.stats.reset()
+    start = time.perf_counter()
+    for i in range(WRITES):
+        Post.create(body=f"post {i}")
+    elapsed = time.perf_counter() - start
+    reads_per_write = db.stats.reads / WRITES
+    return 1e6 * elapsed / WRITES, reads_per_write, db.supports_returning
+
+
+def test_ablation_intercept_protocols(benchmark):
+    rows = []
+    results = {}
+    for label, factory in ENGINES:
+        cost_us, reads_per_write, returning = measure(factory)
+        results[label] = (cost_us, reads_per_write, returning)
+        rows.append([label, "Y" if returning else "N",
+                     f"{reads_per_write:.2f}", f"{cost_us:.1f}"])
+    emit(format_table(
+        "Ablation — RETURNING vs read-back intercept protocols",
+        ["engine", "RETURNING", "engine reads per write", "publish cost us"],
+        rows,
+    ))
+
+    # RETURNING engines never issue extra reads on the write path.
+    assert results["PostgreSQL (RETURNING)"][1] == 0.0
+    assert results["MongoDB (returns writes)"][1] == 0.0
+    # Read-back engines pay at least one additional read per write.
+    assert results["MySQL (read-back)"][1] >= 1.0
+    assert results["Cassandra (read-back)"][1] >= 1.0
+
+    eco = Ecosystem()
+    service = eco.service("kernel", database=MySQLLike("k"))
+
+    @service.model(publish=["body"], name="Post")
+    class Post(Model):
+        body = Field(str)
+
+    benchmark(lambda: Post.create(body="x"))

@@ -1,0 +1,84 @@
+"""Ablation: version-store sharding (§4.2).
+
+The version store "can become a throughput bottleneck due to network or
+CPU, so Synapse shards [it] using a hash ring". We measure (a) real
+multi-threaded publish throughput against 1..8 shards and (b) key
+balance across the ring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.common import emit, format_table
+from repro.core import Ecosystem
+from repro.orm import Field, Model
+
+SHARD_COUNTS = [1, 2, 4, 8]
+THREADS = 8
+WRITES_PER_THREAD = 150
+
+
+def build(shards: int):
+    eco = Ecosystem()
+    service = eco.service("pub", database=None,
+                          version_store_shards=shards)
+
+    @service.model(publish=["n"], ephemeral=True, name="Event")
+    class Event(Model):
+        n = Field(int)
+
+    return eco, service, Event
+
+
+def threaded_publish(shards: int) -> float:
+    """Wall-clock msg/s of THREADS concurrent ephemeral publishers."""
+    eco, service, Event = build(shards)
+
+    def worker(k: int):
+        for i in range(WRITES_PER_THREAD):
+            Event.create(n=k * 1000 + i)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(THREADS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    total = THREADS * WRITES_PER_THREAD
+    assert service.publisher.messages_published == total
+    return total / elapsed
+
+
+def test_ablation_version_store_sharding(benchmark):
+    rows = []
+    balance_rows = []
+    for shards in SHARD_COUNTS:
+        throughput = threaded_publish(shards)
+        eco, service, Event = build(shards)
+        for i in range(400):
+            Event.create(n=i)
+        per_shard = [s.dbsize() for s in service.publisher_version_store.kv.shards]
+        rows.append([shards, f"{throughput:,.0f}"])
+        balance_rows.append([shards, per_shard])
+    lines = format_table(
+        "Ablation — version-store shards vs threaded publish throughput",
+        ["shards", "publish msg/s"],
+        rows,
+    )
+    lines += format_table(
+        "Ablation — key balance across shards (400 distinct objects)",
+        ["shards", "keys per shard"],
+        balance_rows,
+    )
+    emit(lines)
+
+    # Balance: with 4 shards no shard owns more than ~60% of the keys.
+    four = balance_rows[2][1]
+    assert max(four) < 0.6 * sum(four)
+    # All shards participate at 8.
+    assert all(k > 0 for k in balance_rows[3][1])
+
+    benchmark(lambda: threaded_publish(4))

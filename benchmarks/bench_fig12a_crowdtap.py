@@ -1,0 +1,115 @@
+"""Fig 12(a): Synapse publishing overheads on the Crowdtap controller mix.
+
+Replays the published 24-hour production profile (controller shares,
+messages/call, dependencies/message) against this library and regenerates
+the per-controller table: published messages, dependencies per message,
+controller time and Synapse time (mean and 99th percentile).
+
+Expected shape (paper): read-only controllers ~0% overhead; the
+write-heavy ``actions/update`` the highest (~38% in the paper); mean
+across the mix in the low percents.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from benchmarks.common import drain_probe, emit, format_table
+from repro.core import Ecosystem
+from repro.workloads import CONTROLLER_MIX, CrowdtapApp
+
+REQUESTS = 3000
+
+
+def profile_crowdtap(requests: int = REQUESTS):
+    eco = Ecosystem()
+    app = CrowdtapApp(eco)
+    probe = eco.broker.bind("probe", "crowdtap-main")
+    drain_probe(probe)  # discard setup traffic
+    app.service.publisher.overhead.reset()
+
+    stats = defaultdict(lambda: {
+        "calls": 0, "messages": 0, "deps": 0,
+        "controller_times": [], "synapse_times": [],
+    })
+    publisher = app.service.publisher
+    for _ in range(requests):
+        name = app.sample_controller()
+        overhead_before = publisher.overhead.total()
+        msgs_before = publisher.messages_published
+        start = time.perf_counter()
+        app.run_request(name)
+        elapsed = time.perf_counter() - start
+        entry = stats[name]
+        entry["calls"] += 1
+        entry["controller_times"].append(elapsed)
+        entry["synapse_times"].append(publisher.overhead.total() - overhead_before)
+        entry["messages"] += publisher.messages_published - msgs_before
+        for message in drain_probe(probe):
+            entry["deps"] += len(message.dependencies)
+    return stats
+
+
+def _mean(xs):
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def _p99(xs):
+    if not xs:
+        return 0.0
+    ordered = sorted(xs)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def test_fig12a_crowdtap_overheads(benchmark):
+    stats = profile_crowdtap()
+    total_calls = sum(e["calls"] for e in stats.values())
+
+    rows = []
+    weighted_overhead = []
+    for name in CONTROLLER_MIX:
+        entry = stats.get(name)
+        if entry is None or not entry["calls"]:
+            continue
+        msgs_per_call = entry["messages"] / entry["calls"]
+        deps_per_msg = entry["deps"] / entry["messages"] if entry["messages"] else 0.0
+        ctrl_mean = _mean(entry["controller_times"]) * 1000
+        syn_mean = _mean(entry["synapse_times"]) * 1000
+        pct = 100 * syn_mean / ctrl_mean if ctrl_mean else 0.0
+        weighted_overhead.extend(
+            [s / c if c else 0.0 for s, c in
+             zip(entry["synapse_times"], entry["controller_times"])]
+        )
+        rows.append([
+            name,
+            f"{100 * entry['calls'] / total_calls:.1f}%",
+            f"{msgs_per_call:.2f}",
+            f"{deps_per_msg:.1f}",
+            f"{ctrl_mean:.3f}",
+            f"{_p99(entry['controller_times']) * 1000:.3f}",
+            f"{syn_mean:.3f} ({pct:.1f}%)",
+            f"{_p99(entry['synapse_times']) * 1000:.3f}",
+        ])
+    mean_overhead = 100 * _mean(weighted_overhead)
+    lines = format_table(
+        "Fig 12(a) — Crowdtap controller overheads",
+        ["controller", "%calls", "msgs/call", "deps/msg",
+         "ctrl mean ms", "ctrl p99 ms", "synapse mean ms", "synapse p99 ms"],
+        rows,
+    )
+    lines.append(f"Overhead across all controllers: mean={mean_overhead:.1f}%")
+    emit(lines)
+
+    # Shape assertions against the paper.
+    by_name = {row[0]: row for row in rows}
+    assert float(by_name["awards/index"][2]) == 0.0      # read-only
+    assert float(by_name["me/show"][2]) == 0.0           # read-only
+    assert 3.0 < float(by_name["actions/update"][2]) < 4.0
+    assert 10.0 < float(by_name["actions/index"][3]) < 25.0
+    assert mean_overhead < 60.0
+
+    # Benchmark kernel: the write-heaviest controller.
+    eco = Ecosystem()
+    app = CrowdtapApp(eco)
+    benchmark(lambda: app.run_request("actions/update"))

@@ -1,0 +1,94 @@
+"""Fig 12(b): Synapse overhead per controller across three applications
+(Crowdtap, Diaspora, Discourse).
+
+Expected shape (paper): read-only controllers (stream/index,
+topics/index, awards/index) exhibit near-zero overhead; write controllers
+show up to ~20% (Diaspora/Discourse) and up to ~50% (Crowdtap's
+actions/update).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import emit, format_table
+from repro.apps.diaspora import DiasporaApp
+from repro.apps.discourse import DiscourseApp
+from repro.core import Ecosystem
+from repro.workloads import CrowdtapApp
+
+CALLS = 400
+
+
+def _measure(service, fn, calls=CALLS):
+    """Mean total controller time and Synapse share for one controller."""
+    publisher = service.publisher
+    total = 0.0
+    synapse = 0.0
+    for _ in range(calls):
+        before = publisher.overhead.total()
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+        synapse += publisher.overhead.total() - before
+    mean_ms = 1000 * total / calls
+    pct = 100 * synapse / total if total else 0.0
+    return mean_ms, pct
+
+
+def test_fig12b_application_overheads(benchmark):
+    eco = Ecosystem()
+
+    crowdtap = CrowdtapApp(eco)
+    diaspora = DiasporaApp(eco)
+    discourse = DiscourseApp(eco)
+
+    users = [diaspora.users_create(f"u{i}", f"u{i}@x") for i in range(10)]
+    for i in range(20):
+        diaspora.posts_create(users[i % 10], f"post {i}")
+    topics = [discourse.topics_create(users[0].id, f"t{i}") for i in range(5)]
+
+    controllers = [
+        ("Crowdtap", "awards/index",
+         crowdtap.service, lambda: crowdtap.run_request("awards/index")),
+        ("Crowdtap", "brands/show",
+         crowdtap.service, lambda: crowdtap.run_request("brands/show")),
+        ("Crowdtap", "actions/index",
+         crowdtap.service, lambda: crowdtap.run_request("actions/index")),
+        ("Diaspora", "stream/index",
+         diaspora.service, lambda: diaspora.stream_index(users[0])),
+        ("Diaspora", "friends/create",
+         diaspora.service, lambda: diaspora.friends_create(users[0], users[1])),
+        ("Diaspora", "posts/create",
+         diaspora.service, lambda: diaspora.posts_create(users[0], "hello")),
+        ("Discourse", "topics/index",
+         discourse.service, lambda: discourse.topics_index()),
+        ("Discourse", "topics/create",
+         discourse.service, lambda: discourse.topics_create(users[0].id, "t")),
+        ("Discourse", "posts/create",
+         discourse.service,
+         lambda: discourse.posts_create(users[0].id, topics[0], "body")),
+    ]
+
+    rows = []
+    results = {}
+    for app_name, controller, service, fn in controllers:
+        mean_ms, pct = _measure(service, fn)
+        results[(app_name, controller)] = (mean_ms, pct)
+        rows.append([app_name, controller, f"{mean_ms:.3f}", f"{pct:.1f}%"])
+
+    emit(format_table(
+        "Fig 12(b) — Synapse overhead per controller, three applications",
+        ["application", "controller", "total ms", "synapse overhead"],
+        rows,
+    ))
+
+    # Shape: read-only controllers near zero; write controllers modest.
+    assert results[("Crowdtap", "awards/index")][1] < 2.0
+    assert results[("Diaspora", "stream/index")][1] < 2.0
+    assert results[("Discourse", "topics/index")][1] < 2.0
+    for key in [("Diaspora", "posts/create"), ("Discourse", "posts/create"),
+                ("Diaspora", "friends/create")]:
+        assert 0.0 < results[key][1] < 75.0
+
+    benchmark(lambda: diaspora.posts_create(users[2], "bench post"))

@@ -1,0 +1,72 @@
+"""Fig 13(c): subscriber throughput vs #workers per delivery mode, with a
+100 ms subscriber callback (simulating heavy processing such as emails).
+
+Messages are captured from the real publisher running the social
+workload under each publisher mode (global / causal / weak) so they
+carry that mode's real dependency structure; the worker scale-out runs
+in the discrete-event simulator (DESIGN.md substitution table).
+
+Expected shape (paper): global scales poorly (serial commits, ~10 msg/s
+at 100 ms); causal scales with the workload's inherent parallelism;
+weak scales perfectly up to 400 workers (4,000 msg/s at 100 ms).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, format_table
+from repro.core import Ecosystem
+from repro.runtime.simulation import SimMessage, capture_messages, simulate_subscriber
+from repro.workloads import SocialWorkload, build_social_publisher
+
+WORKERS = [1, 2, 5, 10, 20, 50, 100, 200, 400]
+MESSAGES = 1500
+USERS = 600
+CALLBACK = 0.100  # the paper's 100 ms
+
+
+def captured(mode: str):
+    eco = Ecosystem()
+    service, User, Post, Comment = build_social_publisher(
+        eco, ephemeral=True, delivery_mode=mode
+    )
+    drain = capture_messages(eco, "social")
+    workload = SocialWorkload(service, User, Post, Comment, users=USERS)
+    workload.run(MESSAGES)
+    return [SimMessage.from_message(m, mode) for m in drain()]
+
+
+def test_fig13c_delivery_mode_scaling(benchmark):
+    series = {}
+    for mode in ("global", "causal", "weak"):
+        messages = captured(mode)
+        points = []
+        for workers in WORKERS:
+            result = simulate_subscriber(messages, workers=workers,
+                                         service_time=CALLBACK)
+            points.append(result.throughput)
+        series[mode] = points
+
+    rows = [[mode] + [f"{p:,.1f}" for p in points]
+            for mode, points in series.items()]
+    emit(format_table(
+        "Fig 13(c) — throughput (msg/s) vs #workers per delivery mode "
+        "(100 ms subscriber callback)",
+        ["mode"] + [str(w) for w in WORKERS],
+        rows,
+    ))
+
+    glob, causal, weak = series["global"], series["causal"], series["weak"]
+    # Global is flat: total serialisation pins it to ~1/callback.
+    assert glob[-1] < 15
+    assert glob[-1] < 1.5 * glob[0]
+    # Weak scales linearly all the way: ~workers/callback.
+    assert weak[-1] > 3000
+    assert weak[3] > 8 * weak[0]
+    # Causal sits between: scales well but saturates at the workload's
+    # inherent parallelism.
+    assert causal[-1] > 20 * causal[0]
+    assert glob[-1] < causal[-1] < weak[-1]
+
+    messages = captured("causal")
+    benchmark(lambda: simulate_subscriber(messages[:300], workers=50,
+                                          service_time=CALLBACK))

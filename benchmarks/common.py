@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-style table/series it regenerates (run
+pytest with ``-s`` to see them inline; they are also appended to
+``bench_report.txt`` in the repo root so plain runs keep the evidence).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+_REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                            "bench_report.txt")
+
+
+def emit(lines: Iterable[str]) -> None:
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(_REPORT_PATH, "a", encoding="utf-8") as fh:
+        fh.write(text + "\n\n")
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> List[str]:
+    """Fixed-width table matching the paper's layout."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return lines
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def drain_probe(queue) -> list:
+    """Pop-and-ack everything from a probe queue."""
+    out = []
+    while True:
+        message = queue.pop()
+        if message is None:
+            return out
+        queue.ack(message)
+        out.append(message)

@@ -1,0 +1,26 @@
+"""Benchmark-session setup: start a fresh report file per run."""
+
+import os
+
+import pytest
+
+_REPORT = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                       "bench_report.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_report():
+    import platform
+    import sys
+    import time
+
+    if os.path.exists(_REPORT):
+        os.remove(_REPORT)
+    with open(_REPORT, "w", encoding="utf-8") as fh:
+        fh.write(
+            "Synapse reproduction benchmark report\n"
+            f"generated: {time.strftime('%Y-%m-%d %H:%M:%S')}\n"
+            f"python: {sys.version.split()[0]}  "
+            f"platform: {platform.platform()}\n\n"
+        )
+    yield

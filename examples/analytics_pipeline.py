@@ -1,0 +1,145 @@
+"""A data-driven analytics + recommendation pipeline.
+
+Shows the remaining Synapse abstractions working together:
+
+- an *ephemeral* front-end publishes user actions without persisting
+  them (§3.1);
+- an Elasticsearch-like analytics service aggregates them in real time;
+- an *observer* turns SQL friendship rows into Neo4j edges (Example 2)
+  and a graph recommender runs friends-of-friends queries over them.
+
+Run with::
+
+    python examples/analytics_pipeline.py
+"""
+
+from repro.core import Ecosystem
+from repro.databases.graph import Neo4jLike
+from repro.databases.relational import PostgresLike
+from repro.databases.search import ElasticsearchLike
+from repro.orm import BelongsTo, Field, Model, after_create, after_destroy
+
+
+def main() -> None:
+    eco = Ecosystem()
+
+    # ------------------------------------------------------------------
+    # Ephemeral action stream -> search-engine analytics
+    # ------------------------------------------------------------------
+    frontend = eco.service("frontend")  # no database: pure event source
+
+    @frontend.model(publish=["user_id", "kind", "target"], ephemeral=True)
+    class UserAction(Model):
+        user_id = Field(int)
+        kind = Field(str)
+        target = Field(str)
+
+    analytics = eco.service("analytics", database=ElasticsearchLike("es"))
+
+    @analytics.model(
+        subscribe={"from": "frontend", "fields": ["user_id", "kind", "target"]},
+        name="UserAction",
+    )
+    class IndexedAction(Model):
+        user_id = Field(int)
+        kind = Field(str)
+        target = Field(str)
+
+    # ------------------------------------------------------------------
+    # SQL social graph -> Neo4j recommender via an observer
+    # ------------------------------------------------------------------
+    social = eco.service("social", database=PostgresLike("social-db"))
+
+    @social.model(publish=["name"])
+    class User(Model):
+        name = Field(str)
+
+    @social.model(publish=["user1_id", "user2_id"])
+    class Friendship(Model):
+        user1 = BelongsTo("User")
+        user2 = BelongsTo("User")
+
+    @social.model(publish=["user_id", "product"])
+    class Like(Model):
+        user_id = Field(int)
+        product = Field(str)
+
+    recommender = eco.service("recommender", database=Neo4jLike("neo"))
+    graph = recommender.database
+
+    @recommender.model(subscribe={"from": "social", "fields": ["name"]},
+                       name="User")
+    class GraphUser(Model):
+        name = Field(str)
+
+    @recommender.model(
+        subscribe={"from": "social", "fields": ["user1_id", "user2_id"]},
+        observer=True, name="Friendship",
+    )
+    class FriendshipObserver(Model):
+        user1_id = Field(int)
+        user2_id = Field(int)
+
+        @after_create
+        def add_edge(self):
+            graph.create_edge(self.user1_id, "friend", self.user2_id,
+                              directed=False)
+
+        @after_destroy
+        def drop_edge(self):
+            graph.delete_edge(self.user1_id, "friend", self.user2_id,
+                              directed=False)
+
+    @recommender.model(
+        subscribe={"from": "social", "fields": ["user_id", "product"]},
+        observer=True, name="Like",
+    )
+    class LikeObserver(Model):
+        user_id = Field(int)
+        product = Field(str)
+
+        @after_create
+        def add_like(self):
+            for node in graph.find_nodes("Product", {"name": self.product}):
+                graph.create_edge(self.user_id, "likes", node["id"])
+                return
+            node = graph.create_node("Product", {"name": self.product})
+            graph.create_edge(self.user_id, "likes", node["id"])
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    print("== social traffic on the SQL service ==")
+    users = {name: User.create(name=name) for name in
+             ["ada", "bob", "carol", "dave"]}
+    Friendship.create(user1_id=users["ada"].id, user2_id=users["bob"].id)
+    Friendship.create(user1_id=users["bob"].id, user2_id=users["carol"].id)
+    Friendship.create(user1_id=users["carol"].id, user2_id=users["dave"].id)
+    Like.create(user_id=users["bob"].id, product="espresso machine")
+    Like.create(user_id=users["carol"].id, product="espresso machine")
+    Like.create(user_id=users["carol"].id, product="cat tree")
+
+    print("== click-stream from the DB-less frontend ==")
+    for i in range(40):
+        UserAction.create(user_id=(i % 4) + 1, kind="click" if i % 3 else "search",
+                          target=f"page-{i % 5}")
+
+    eco.drain_all()
+
+    print("\n== analytics (Elasticsearch aggregations) ==")
+    es = analytics.database
+    for bucket in es.aggregate("user_actions", "terms", "kind"):
+        print(f"  {bucket['key']}: {bucket['doc_count']} events")
+
+    print("\n== graph recommendations for ada (friends-of-friends) ==")
+    recs = graph.recommend(users["ada"].id, relation="friend", liked="likes",
+                           depth=2)
+    for product_id, endorsements in recs:
+        node = graph.get_node(product_id)
+        print(f"  {node['name']} (endorsed by {endorsements} in network)")
+
+    print("\nephemeral + observer + search + graph: all four abstractions live")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Zero-downtime database migration via replication (§6.5).
+
+Reproduces Crowdtap's MongoDB -> TokuMX engine swap: stand up a clone
+service on the new engine, bootstrap it from the original, keep both in
+sync during a QA window, then flip traffic. Run with::
+
+    python examples/live_migration.py
+"""
+
+from repro.core import Ecosystem
+from repro.core.migration import LiveMigrator, replicate_service
+from repro.databases.document import MongoLike, TokuMXLike
+from repro.orm import Field, Model
+
+
+def main() -> None:
+    eco = Ecosystem()
+
+    print("== the original main app, on MongoDB ==")
+    main_app = eco.service("main-app", database=MongoLike("main-mongo"))
+
+    @main_app.model(publish=["name", "points"])
+    class Member(Model):
+        name = Field(str)
+        points = Field(int, default=0)
+
+    @main_app.model(publish=["member_id", "kind"])
+    class Action(Model):
+        member_id = Field(int)
+        kind = Field(str)
+
+    members = [Member.create(name=f"member{i}", points=i * 10) for i in range(20)]
+    for member in members[:5]:
+        Action.create(member_id=member.id, kind="signup")
+    print(f"  {Member.count()} members, {Action.count()} actions on MongoDB")
+
+    print("\n== standing up the TokuMX clone (bootstrap) ==")
+    clone = replicate_service(eco, "main-app", "main-app-tokumx",
+                              TokuMXLike("main-toku"))
+    CloneMember = clone.registry["Member"]
+    print(f"  clone has {CloneMember.count()} members on "
+          f"{clone.database.engine_family}")
+
+    print("\n== QA window: both versions run, clone stays in sync ==")
+    Member.create(name="new-during-qa", points=1)
+    members[0].update(points=999)
+    clone.subscriber.drain()
+    print(f"  clone member count: {CloneMember.count()}")
+    print(f"  clone sees updated points: {CloneMember.find(members[0].id).points}")
+
+    print("\n== flip the load balancer: the clone is now the main app ==")
+    print("  (the old MongoDB service can be retired at leisure)")
+
+    print("\n== bonus: additive schema evolution on the live publisher ==")
+    migrator = LiveMigrator(main_app)
+
+    # A new feature needs the member's level; publish it without downtime.
+    migrator.add_field(Member, "level", int, default=0)
+    migrator.publish_new_attribute(Member, "level")
+    print(f"  'level' now published: "
+          f"{eco.broker.published_fields('main-app', 'Member')}")
+
+
+if __name__ == "__main__":
+    main()

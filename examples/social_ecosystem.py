@@ -1,0 +1,58 @@
+"""The §5.2 social product recommender (Fig 11), end to end.
+
+Diaspora (social network) and Discourse (forum) publish posts; a
+semantic analyzer decorates users with topics of interest; Spree uses
+the decoration to recommend products; a mailer notifies friends of new
+posts. Run with::
+
+    python examples/social_ecosystem.py
+"""
+
+from repro.apps import build_social_ecosystem
+
+
+def main() -> None:
+    world = build_social_ecosystem()
+
+    print("== signing up users on Diaspora ==")
+    ada = world.diaspora.users_create("ada", "ada@example.org")
+    bob = world.diaspora.users_create("bob", "bob@example.org")
+    world.diaspora.friends_create(ada, bob)
+    world.sync()
+
+    print("== ada posts about her passions ==")
+    world.diaspora.posts_create(
+        ada, "nothing beats coffee in the morning, coffee is life"
+    )
+    world.diaspora.posts_create(
+        ada, "my cats knocked over the coffee again... cats!"
+    )
+    topic = world.discourse.topics_create(ada.id, "music corner")
+    world.discourse.posts_create(
+        ada.id, topic, "learning guitar, any guitar tips for guitar beginners?"
+    )
+    world.sync()
+
+    print("\n== mailer: friends were notified ==")
+    for mail in world.mailer.outbox:
+        print(f"  to={mail['to']}: {mail['body']}")
+
+    print("\n== analyzer: decorated interests ==")
+    interests = world.analyzer.User.find(ada.id).interests
+    print(f"  ada's interests: {interests}")
+
+    print("\n== spree: social product recommendations ==")
+    for product in world.spree.recommend(ada.id):
+        print(f"  {product.name} (${product.price}) — {product.description}")
+
+    print("\n== spree: checkout ==")
+    user = world.spree.User.find(ada.id)
+    recs = world.spree.recommend(ada.id)
+    order = world.spree.orders_create(user, [(recs[0], 1)])
+    print(f"  order #{order.id} total ${order.total}")
+
+    print("\nfive services, four database engines, one Synapse ecosystem")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work offline (no `wheel` available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""CLI entry point: ``python -m repro <command>``.
+
+Commands:
+    demo quickstart|social|crowdtap|migration|analytics|fig8
+        run one of the example scenarios
+    topology social|crowdtap [--dot]
+        print the service topology (optionally GraphViz DOT)
+    version
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, args = argv[0], argv[1:]
+    if command == "version":
+        import repro
+
+        print(repro.__version__)
+        return 0
+    if command == "demo":
+        scenarios = {
+            "quickstart": "examples.quickstart",
+            "social": "examples.social_ecosystem",
+            "crowdtap": "examples.crowdtap_microservices",
+            "migration": "examples.live_migration",
+            "analytics": "examples.analytics_pipeline",
+            "fig8": "examples.fig8_walkthrough",
+        }
+        name = args[0] if args else "quickstart"
+        module_name = scenarios.get(name)
+        if module_name is None:
+            print(f"unknown demo {name!r}; options: {sorted(scenarios)}")
+            return 1
+        # Examples live next to the repo root, not inside the package.
+        import importlib
+        import os
+
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        sys.path.insert(0, repo_root)
+        try:
+            module = importlib.import_module(module_name)
+        except ModuleNotFoundError:
+            print("examples/ not found — run from a source checkout")
+            return 1
+        module.main()
+        return 0
+    if command == "topology":
+        from repro.core.tools import describe_ecosystem, to_dot
+
+        which = args[0] if args else "social"
+        if which == "crowdtap":
+            from repro.apps.crowdtap import build_crowdtap_ecosystem
+
+            eco = build_crowdtap_ecosystem().eco
+        else:
+            from repro.apps import build_social_ecosystem
+
+            eco = build_social_ecosystem().eco
+        if "--dot" in args:
+            print(to_dot(eco))
+        else:
+            print(describe_ecosystem(eco))
+        return 0
+    print(f"unknown command {command!r}")
+    print(__doc__)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - thin shim
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,100 @@
+"""The semantic analyzer of §5.2: subscribes to posts, extracts topics of
+interest, and decorates the User model with them.
+
+The paper used the Textalytics web service; the stand-in here is a
+deterministic keyword extractor (token frequency over a stopword-filtered
+standard analysis — the same pipeline our search engine uses), which
+preserves the data-flow shape: post text in, interest tags out.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List
+
+from repro.databases.relational import MySQLLike
+from repro.databases.search.analysis import standard_analyzer
+from repro.orm import Field, Model, after_create
+
+
+def extract_topics(text: str, limit: int = 3, min_length: int = 4) -> List[str]:
+    """Textalytics stand-in: the most frequent long-enough tokens."""
+    tokens = [t for t in standard_analyzer(text) if len(t) >= min_length]
+    return [token for token, _count in Counter(tokens).most_common(limit)]
+
+
+class SemanticAnalyzerApp:
+    """Decorator service: subscribes Diaspora/Discourse posts, publishes
+    User interests (the Dec2 pattern of Fig 3, deployed as in Fig 11)."""
+
+    def __init__(
+        self,
+        ecosystem: Any,
+        diaspora_app: str = "diaspora",
+        discourse_app: str = "discourse",
+        name: str = "analyzer",
+    ) -> None:
+        self.ecosystem = ecosystem
+        self.service = ecosystem.service(name, database=MySQLLike(f"{name}-db"))
+        service = self.service
+        analyzer = self
+
+        @service.model(
+            subscribe={"from": diaspora_app, "fields": ["name"]},
+            publish=["interests"],
+            name="User",
+        )
+        class AnalyzedUser(Model):
+            name = Field(str)
+            interests = Field(list, default=list)
+
+        @service.model(
+            subscribe={"from": diaspora_app,
+                       "fields": ["author_id", "body", "public"]},
+            name="Post",
+        )
+        class AnalyzedPost(Model):
+            body = Field(str)
+            author_id = Field(int)
+            public = Field(bool)
+
+            @after_create
+            def analyze(self):
+                analyzer.on_new_text(self.author_id, self.body)
+
+        @service.model(
+            subscribe={"from": discourse_app,
+                       "fields": ["topic_id", "author_id", "body"]},
+            name="ForumPost",
+        )
+        class AnalyzedForumPost(Model):
+            body = Field(str)
+            topic_id = Field(int)
+            author_id = Field(int)
+
+            @after_create
+            def analyze(self):
+                analyzer.on_new_text(self.author_id, self.body)
+
+        self.User = AnalyzedUser
+        self.Post = AnalyzedPost
+        self.ForumPost = AnalyzedForumPost
+        self.analyzed_texts = 0
+
+    def on_new_text(self, author_id: Any, body: str) -> None:
+        """Merge newly-extracted topics into the author's decoration and
+        republish it (running inside a background-job scope so the update
+        chains causally after the triggering message)."""
+        if author_id is None:
+            return
+        self.analyzed_texts += 1
+        topics = extract_topics(body or "")
+        if not topics:
+            return
+        with self.service.background_job():
+            user = self.User.find_or_initialize(author_id)
+            if user.new_record:
+                return  # user data has not arrived yet; topics lost is OK
+            merged = list(dict.fromkeys((user.interests or []) + topics))
+            user.interests = merged
+            user.save()

@@ -1,0 +1,346 @@
+"""The Crowdtap production ecosystem of §5.1 (Fig 10).
+
+The main app (MongoDB) is surrounded by eight microservices. All
+publishers support causal delivery; each subscriber picks causal or weak
+to match its semantics/availability needs, exactly as Fig 10's arrows:
+
+- causal: Moderation, Targeting, Mailer, Spree, FB Crawler -> Targeting
+- weak:   Analytics, Search Engine, Reporting
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.databases.search import ElasticsearchLike, Match
+from repro.orm import BelongsTo, Field, Model, after_create, after_update
+
+
+class CrowdtapEcosystem:
+    """Builds the nine services and exposes app-level operations."""
+
+    def __init__(self, ecosystem: Optional[Ecosystem] = None) -> None:
+        self.eco = ecosystem or Ecosystem()
+        self._build_main_app()
+        self._build_fb_crawler()
+        self._build_moderation()
+        self._build_targeting()
+        self._build_mailer()
+        self._build_analytics()
+        self._build_search()
+        self._build_reporting()
+        self._build_spree()
+
+    def sync(self) -> int:
+        return self.eco.drain_all()
+
+    # ------------------------------------------------------------------
+    # Main app (MongoDB, causal publisher)
+    # ------------------------------------------------------------------
+
+    def _build_main_app(self) -> None:
+        service = self.eco.service("main", database=MongoLike("main-db"))
+        self.main = service
+
+        @service.model(publish=["name", "email", "points"])
+        class Member(Model):
+            name = Field(str)
+            email = Field(str)
+            points = Field(int, default=0)
+
+        @service.model(publish=["name", "description"])
+        class Brand(Model):
+            name = Field(str)
+            description = Field(str)
+
+        @service.model(publish=["member_id", "brand_id", "kind", "text"])
+        class Action(Model):
+            kind = Field(str)
+            text = Field(str)
+            member = BelongsTo("Member")
+            brand = BelongsTo("Brand")
+
+        self.Member, self.Brand, self.Action = Member, Brand, Action
+
+    # -- main-app operations -------------------------------------------------
+
+    def signup(self, name: str, email: str) -> Any:
+        with self.main.controller():
+            return self.Member.create(name=name, email=email)
+
+    def add_brand(self, name: str, description: str) -> Any:
+        with self.main.controller():
+            return self.Brand.create(name=name, description=description)
+
+    def submit_action(self, member: Any, brand: Any, kind: str, text: str = "") -> Any:
+        with self.main.controller(user=member):
+            fresh = self.Member.find(member.id)
+            action = self.Action.create(
+                member_id=fresh.id, brand_id=brand.id, kind=kind, text=text
+            )
+            fresh.update(points=(fresh.points or 0) + 5)
+            return action
+
+    # ------------------------------------------------------------------
+    # FB crawler (MongoDB, publishes crawled social profiles)
+    # ------------------------------------------------------------------
+
+    def _build_fb_crawler(self) -> None:
+        service = self.eco.service("fb-crawler", database=MongoLike("fb-db"))
+        self.fb_crawler = service
+
+        @service.model(publish=["member_id", "likes"])
+        class SocialProfile(Model):
+            member_id = Field(int)
+            likes = Field(list, default=list)
+
+        self.SocialProfile = SocialProfile
+
+    def crawl_profile(self, member: Any, likes: List[str]) -> Any:
+        with self.fb_crawler.controller():
+            return self.SocialProfile.create(member_id=member.id, likes=likes)
+
+    # ------------------------------------------------------------------
+    # Moderation (MongoDB, causal) — decorates actions with a status
+    # ------------------------------------------------------------------
+
+    def _build_moderation(self) -> None:
+        service = self.eco.service("moderation", database=MongoLike("mod-db"))
+        self.moderation = service
+        banned = {"spam", "scam"}
+
+        @service.model(
+            subscribe={"from": "main",
+                       "fields": ["member_id", "brand_id", "kind", "text"],
+                       "mode": "causal"},
+            publish=["status"],
+            name="Action",
+        )
+        class ModeratedAction(Model):
+            kind = Field(str)
+            text = Field(str)
+            member_id = Field(int)
+            brand_id = Field(int)
+            status = Field(str, default="pending")
+
+            @after_create
+            def moderate(self):
+                words = set((self.text or "").lower().split())
+                verdict = "rejected" if words & banned else "approved"
+                with service.background_job():
+                    mine = type(self).find(self.id)
+                    mine.status = verdict
+                    mine.save()
+
+        self.ModeratedAction = ModeratedAction
+
+    # ------------------------------------------------------------------
+    # Targeting (MongoDB, causal) — segments from main + crawler data
+    # ------------------------------------------------------------------
+
+    def _build_targeting(self) -> None:
+        service = self.eco.service("targeting", database=MongoLike("tgt-db"))
+        self.targeting = service
+
+        @service.model(
+            subscribe={"from": "main", "fields": ["name", "points"],
+                       "mode": "causal"},
+            publish=["segments"],
+            name="Member",
+        )
+        class TargetedMember(Model):
+            name = Field(str)
+            points = Field(int)
+            segments = Field(list, default=list)
+
+        @service.model(
+            subscribe={"from": "fb-crawler", "fields": ["member_id", "likes"],
+                       "mode": "causal"},
+            name="SocialProfile",
+        )
+        class CrawledProfile(Model):
+            member_id = Field(int)
+            likes = Field(list, default=list)
+
+            @after_create
+            def segment(self):
+                with service.background_job():
+                    member = TargetedMember.find_or_initialize(self.member_id)
+                    if member.new_record:
+                        return
+                    segments = set(member.segments or [])
+                    for like in self.likes or []:
+                        segments.add(f"likes:{like}")
+                    member.segments = sorted(segments)
+                    member.save()
+
+        self.TargetedMember = TargetedMember
+
+    # ------------------------------------------------------------------
+    # Mailer (MongoDB, causal)
+    # ------------------------------------------------------------------
+
+    def _build_mailer(self) -> None:
+        service = self.eco.service("ct-mailer", database=MongoLike("ctmail-db"))
+        self.mailer = service
+        self.outbox: List[Dict[str, Any]] = []
+        outbox = self.outbox
+
+        @service.model(
+            subscribe={"from": "main", "fields": ["name", "email"],
+                       "mode": "causal"},
+            name="Member",
+        )
+        class MailMember(Model):
+            name = Field(str)
+            email = Field(str)
+
+            @after_create
+            def welcome(self):
+                if not type(self)._service.bootstrap_active:
+                    outbox.append({"to": self.email, "subject": "welcome"})
+
+        @service.model(
+            subscribe={"from": "moderation", "fields": ["status"],
+                       "mode": "causal"},
+            name="Action",
+        )
+        class MailAction(Model):
+            status = Field(str)
+
+            # The first moderation update may be this service's first
+            # sighting of the action (a local create): hook both events.
+            @after_create
+            @after_update
+            def notify_rejection(self):
+                if self.status == "rejected":
+                    outbox.append({"to": "moderators@crowdtap",
+                                   "subject": f"action {self.id} rejected"})
+
+        self.MailMember = MailMember
+
+    # ------------------------------------------------------------------
+    # Analytics (Elasticsearch, weak)
+    # ------------------------------------------------------------------
+
+    def _build_analytics(self) -> None:
+        service = self.eco.service("analytics",
+                                   database=ElasticsearchLike("an-db"))
+        self.analytics = service
+
+        @service.model(
+            subscribe={"from": "main",
+                       "fields": ["member_id", "brand_id", "kind"],
+                       "mode": "weak"},
+            name="Action",
+        )
+        class AnalyzedAction(Model):
+            member_id = Field(int)
+            brand_id = Field(int)
+            kind = Field(str)
+
+        self.AnalyzedAction = AnalyzedAction
+
+    def actions_per_kind(self) -> Dict[str, int]:
+        buckets = self.analytics.database.aggregate("actions", "terms", "kind")
+        return {b["key"]: b["doc_count"] for b in buckets}
+
+    # ------------------------------------------------------------------
+    # Search engine (Elasticsearch, weak)
+    # ------------------------------------------------------------------
+
+    def _build_search(self) -> None:
+        service = self.eco.service("search", database=ElasticsearchLike("se-db"))
+        self.search = service
+
+        @service.model(
+            subscribe={"from": "main", "fields": ["name", "description"],
+                       "mode": "weak"},
+            name="Brand",
+        )
+        class SearchableBrand(Model):
+            __analyzers__ = {"description": "standard"}
+            name = Field(str)
+            description = Field(str)
+
+        self.SearchableBrand = SearchableBrand
+
+    def search_brands(self, text: str) -> List[str]:
+        hits = self.search.database.search("brands", Match("description", text))
+        return [doc["name"] for doc, _score in hits]
+
+    # ------------------------------------------------------------------
+    # Reporting (MongoDB, weak)
+    # ------------------------------------------------------------------
+
+    def _build_reporting(self) -> None:
+        service = self.eco.service("reporting", database=MongoLike("rep-db"))
+        self.reporting = service
+
+        @service.model(
+            subscribe={"from": "main", "fields": ["member_id", "kind"],
+                       "mode": "weak"},
+            name="Action",
+        )
+        class ReportedAction(Model):
+            member_id = Field(int)
+            kind = Field(str)
+
+        self.ReportedAction = ReportedAction
+
+    def engagement_report(self) -> Dict[str, int]:
+        """Aggregated with the document engine's pipeline — the reporting
+        prototype the Crowdtap hackathon story describes (§6.5)."""
+        buckets = self.reporting.database.aggregate(
+            "actions",
+            [
+                {"$group": {"_id": "$kind", "count": {"$sum": 1}}},
+                {"$sort": {"count": -1}},
+            ],
+        )
+        return {bucket["_id"]: bucket["count"] for bucket in buckets}
+
+    def top_members_by_actions(self, limit: int = 3) -> List[Dict[str, Any]]:
+        return self.reporting.database.aggregate(
+            "actions",
+            [
+                {"$group": {"_id": "$member_id", "actions": {"$sum": 1}}},
+                {"$sort": {"actions": -1, "_id": 1}},
+                {"$limit": limit},
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Spree (PostgreSQL, causal)
+    # ------------------------------------------------------------------
+
+    def _build_spree(self) -> None:
+        service = self.eco.service("ct-spree", database=PostgresLike("ctsp-db"))
+        self.spree = service
+
+        @service.model(
+            subscribe=[
+                {"from": "main", "fields": ["name", "email"], "mode": "causal"},
+                {"from": "targeting", "fields": ["segments"], "mode": "causal"},
+            ],
+            name="Member",
+        )
+        class SpreeMember(Model):
+            name = Field(str)
+            email = Field(str)
+            segments = Field(list, default=list)
+
+        self.SpreeMember = SpreeMember
+
+    def members_in_segment(self, segment: str) -> List[str]:
+        return sorted(
+            m.name for m in self.SpreeMember.all()
+            if segment in (m.segments or [])
+        )
+
+
+def build_crowdtap_ecosystem(ecosystem: Optional[Ecosystem] = None) -> CrowdtapEcosystem:
+    return CrowdtapEcosystem(ecosystem)

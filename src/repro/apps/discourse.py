@@ -1,0 +1,47 @@
+"""Mini-Discourse: the discussion board of §5.2 (5 configuration lines in
+the real 21k-line app). Publishes topics and forum posts."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.databases.relational import PostgresLike
+from repro.orm import BelongsTo, Field, Model
+
+
+class DiscourseApp:
+    def __init__(self, ecosystem: Any, name: str = "discourse") -> None:
+        self.ecosystem = ecosystem
+        self.service = ecosystem.service(name, database=PostgresLike(f"{name}-db"))
+        service = self.service
+
+        @service.model(publish=["title", "author_id"])
+        class Topic(Model):
+            title = Field(str)
+            author_id = Field(int)
+
+        @service.model(publish=["topic_id", "author_id", "body"], name="ForumPost")
+        class ForumPost(Model):
+            body = Field(str)
+            topic = BelongsTo("Topic")
+            author_id = Field(int)
+
+        self.Topic = Topic
+        self.ForumPost = ForumPost
+
+    # -- controllers ---------------------------------------------------------
+
+    def topics_index(self, limit: int = 20) -> List[Any]:
+        with self.service.controller():
+            return self.Topic.where(_order_by=("id", "desc"), _limit=limit)
+
+    def topics_create(self, author_id: int, title: str) -> Any:
+        with self.service.controller():
+            return self.Topic.create(title=title, author_id=author_id)
+
+    def posts_create(self, author_id: int, topic: Any, body: str) -> Any:
+        with self.service.controller():
+            seen = self.Topic.find(topic.id)
+            return self.ForumPost.create(
+                topic_id=seen.id, author_id=author_id, body=body
+            )

@@ -1,0 +1,48 @@
+"""Wiring of the full §5.2 open-source ecosystem (Fig 11).
+
+Diaspora and Discourse publish posts; the semantic analyzer subscribes,
+decorates users with topics of interest and publishes the decoration;
+Spree subscribes users + interests and recommends products; the mailer
+notifies friends of new Diaspora posts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.analyzer import SemanticAnalyzerApp
+from repro.apps.diaspora import DiasporaApp
+from repro.apps.discourse import DiscourseApp
+from repro.apps.mailer import MailerApp
+from repro.apps.spree import SpreeApp
+from repro.core import Ecosystem
+
+DEFAULT_CATALOGUE = [
+    ("Trail runners", "running shoes for mountain trails", 120.0),
+    ("Espresso machine", "brews strong coffee every morning", 350.0),
+    ("Cat tree", "a deluxe tower for cats to climb and nap", 90.0),
+    ("Dog leash", "sturdy leash for walking dogs", 25.0),
+    ("Guitar", "acoustic guitar for music lovers", 499.0),
+    ("Yoga mat", "non-slip mat for yoga and stretching", 40.0),
+]
+
+
+class SocialEcosystem:
+    """Handle bundling the five services for examples/benchmarks."""
+
+    def __init__(self, ecosystem: Optional[Ecosystem] = None) -> None:
+        self.eco = ecosystem or Ecosystem()
+        self.diaspora = DiasporaApp(self.eco)
+        self.discourse = DiscourseApp(self.eco)
+        self.mailer = MailerApp(self.eco, social_app="diaspora")
+        self.analyzer = SemanticAnalyzerApp(self.eco)
+        self.spree = SpreeApp(self.eco)
+        self.spree.seed_catalogue(DEFAULT_CATALOGUE)
+
+    def sync(self) -> int:
+        """Propagate every pending update through the whole graph."""
+        return self.eco.drain_all()
+
+
+def build_social_ecosystem(ecosystem: Optional[Ecosystem] = None) -> SocialEcosystem:
+    return SocialEcosystem(ecosystem)

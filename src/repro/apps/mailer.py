@@ -1,0 +1,81 @@
+"""The notification mailer of Figs 2 and 9: emails a user's friends when
+the user posts. Causal mode is essential — a notification must never
+reference a friends list newer than the post it announces."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.databases.document import MongoLike
+from repro.orm import Field, Model, after_create
+
+
+class MailerApp:
+    """Subscribes users, friendships and posts from the social app;
+    sends (collects) one email per friend per new post."""
+
+    def __init__(self, ecosystem: Any, social_app: str = "diaspora",
+                 name: str = "mailer") -> None:
+        self.ecosystem = ecosystem
+        self.service = ecosystem.service(name, database=MongoLike(f"{name}-db"))
+        #: The "sent" mailbox: list of {to, about, body} dicts.
+        self.outbox: List[Dict[str, Any]] = []
+        service = self.service
+        mailer = self
+
+        @service.model(
+            subscribe={"from": social_app, "fields": ["name", "email"]},
+            name="User",
+        )
+        class MailerUser(Model):
+            name = Field(str)
+            email = Field(str)
+
+        @service.model(
+            subscribe={"from": social_app, "fields": ["user1_id", "user2_id"]},
+            name="Friendship",
+        )
+        class MailerFriendship(Model):
+            user1_id = Field(int)
+            user2_id = Field(int)
+
+        @service.model(
+            subscribe={"from": social_app, "fields": ["author_id", "body"]},
+            name="Post",
+        )
+        class MailerPost(Model):
+            body = Field(str)
+            author_id = Field(int)
+
+            @after_create
+            def notify_friends(self):
+                if not type(self)._service.bootstrap_active:
+                    mailer.send_notifications(self)
+
+        self.User = MailerUser
+        self.Friendship = MailerFriendship
+        self.Post = MailerPost
+
+    def friends_of(self, user_id: Any) -> List[int]:
+        out = set()
+        for f in self.Friendship.where(user1_id=user_id):
+            out.add(f.user2_id)
+        for f in self.Friendship.where(user2_id=user_id):
+            out.add(f.user1_id)
+        return sorted(out)
+
+    def send_notifications(self, post: Any) -> None:
+        author = self.User.find_by(id=post.author_id)
+        author_name = author.name if author is not None else f"user {post.author_id}"
+        for friend_id in self.friends_of(post.author_id):
+            friend = self.User.find_by(id=friend_id)
+            if friend is None or not friend.email:
+                continue
+            self.outbox.append(
+                {
+                    "to": friend.email,
+                    "about": post.id,
+                    "body": f"{author_name} posted: {post.body}",
+                    "at": self.ecosystem.clock.now(),
+                }
+            )

@@ -1,0 +1,106 @@
+"""Mini-Spree: the e-commerce application of §5.2 (7 configuration lines
+in the real 37k-line app) plus the generic targeted-search feature the
+paper added.
+
+Subscribes to the semantic analyzer's decorated User model; the
+recommender is the paper's "very simple keyword-based matching between
+the users' interests and product descriptions".
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.databases.relational import MySQLLike
+from repro.orm import BelongsTo, Field, Model
+
+
+class SpreeApp:
+    def __init__(
+        self,
+        ecosystem: Any,
+        diaspora_app: str = "diaspora",
+        analyzer_app: str = "analyzer",
+        name: str = "spree",
+    ) -> None:
+        self.ecosystem = ecosystem
+        self.service = ecosystem.service(name, database=MySQLLike(f"{name}-db"))
+        service = self.service
+
+        @service.model(
+            subscribe=[
+                {"from": diaspora_app, "fields": ["name"]},
+                {"from": analyzer_app, "fields": ["interests"]},
+            ],
+            name="User",
+        )
+        class SpreeUser(Model):
+            name = Field(str)
+            interests = Field(list, default=list)
+
+        @service.model(publish=["name", "description", "price"])
+        class Product(Model):
+            name = Field(str)
+            description = Field(str)
+            price = Field(float)
+
+        @service.model(publish=["user_id", "total"])
+        class Order(Model):
+            user = BelongsTo("User")
+            total = Field(float, default=0.0)
+
+        @service.model()
+        class LineItem(Model):
+            order = BelongsTo("Order")
+            product = BelongsTo("Product")
+            quantity = Field(int, default=1)
+
+        self.User = SpreeUser
+        self.Product = Product
+        self.Order = Order
+        self.LineItem = LineItem
+
+    # -- catalogue -----------------------------------------------------------
+
+    def seed_catalogue(self, products: List[Tuple[str, str, float]]) -> None:
+        with self.service.controller():
+            for name, description, price in products:
+                self.Product.create(name=name, description=description,
+                                    price=price)
+
+    # -- controllers -----------------------------------------------------------
+
+    def products_index(self) -> List[Any]:
+        with self.service.controller():
+            return self.Product.all()
+
+    def orders_create(self, user: Any, items: List[Tuple[Any, int]]) -> Any:
+        """Checkout: one order + line items + computed total."""
+        with self.service.controller(user=user):
+            order = self.Order.create(user_id=user.id)
+            total = 0.0
+            for product, quantity in items:
+                self.LineItem.create(order_id=order.id, product_id=product.id,
+                                     quantity=quantity)
+                total += product.price * quantity
+            order.update(total=total)
+            return order
+
+    # -- the social recommender (Fig 11's purpose) -----------------------------
+
+    def recommend(self, user_id: Any, limit: int = 5) -> List[Any]:
+        """Products whose descriptions mention the user's interests —
+        interests that materialised via Diaspora -> analyzer -> Spree
+        without this code knowing where they came from."""
+        user = self.User.find_by(id=user_id)
+        if user is None or not user.interests:
+            return []
+        interests = {i.lower() for i in user.interests}
+        scored = []
+        for product in self.Product.all():
+            text = f"{product.name} {product.description}".lower()
+            score = sum(1 for interest in interests if interest in text)
+            if score > 0:
+                scored.append((score, product.id, product))
+        scored.sort(key=lambda entry: (-entry[0], entry[1]))
+        return [product for _score, _pid, product in scored[:limit]]

@@ -1,0 +1,13 @@
+"""Reliable message broker (RabbitMQ stand-in, Fig 6a).
+
+One durable queue per subscriber application; messages are acked by
+subscriber workers, redelivered on nack, and the queue is decommissioned
+when it grows past a configurable limit (§4.4). Fault injection can drop
+messages in transit to reproduce the §6.5 production incident.
+"""
+
+from repro.broker.broker import Broker
+from repro.broker.message import Message
+from repro.broker.queue import SubscriberQueue
+
+__all__ = ["Broker", "Message", "SubscriberQueue"]

@@ -1,0 +1,140 @@
+"""The broker: routing from publisher apps to subscriber queues, plus the
+publisher metadata registry backing Synapse's static checks (§4.5)."""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.broker.message import Message
+from repro.broker.queue import SubscriberQueue
+from repro.errors import BrokerError
+
+
+class Broker:
+    """Reliable pub/sub fabric between services.
+
+    Every subscriber application owns one durable queue; a queue receives
+    the messages of every publisher app it is bound to. The broker also
+    stores each publisher's *publisher file*: the models/attributes it
+    publishes and its delivery mode, consumed by subscribers for static
+    validation (§3.1, §4.5).
+
+    ``loss_probability``/``drop_next`` inject message loss to reproduce
+    the RabbitMQ-upgrade incident of §6.5.
+    """
+
+    def __init__(self, default_queue_limit: Optional[int] = None, seed: int = 0) -> None:
+        self._queues: Dict[str, SubscriberQueue] = {}
+        #: subscriber app -> set of publisher apps it listens to
+        self._bindings: Dict[str, Set[str]] = {}
+        #: publisher app -> model name -> (fields, delivery_mode)
+        self._publications: Dict[str, Dict[str, Tuple[List[str], str]]] = {}
+        self._publisher_modes: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._default_queue_limit = default_queue_limit
+        self._rng = random.Random(seed)
+        self.loss_probability = 0.0
+        self._drop_next = 0
+        self.dropped_messages = 0
+        self.total_routed = 0
+
+    # -- publisher metadata ("publisher files") ------------------------------
+
+    def register_publication(
+        self, app: str, model: str, fields: List[str], delivery_mode: str
+    ) -> None:
+        with self._lock:
+            models = self._publications.setdefault(app, {})
+            existing = models.get(model)
+            if existing is not None:
+                fields = sorted(set(existing[0]) | set(fields))
+            models[model] = (list(fields), delivery_mode)
+            self._publisher_modes[app] = delivery_mode
+
+    def published_fields(self, app: str, model: str) -> Optional[List[str]]:
+        models = self._publications.get(app)
+        if models is None or model not in models:
+            return None
+        return list(models[model][0])
+
+    def publisher_mode(self, app: str) -> Optional[str]:
+        return self._publisher_modes.get(app)
+
+    def published_models(self, app: str) -> List[str]:
+        return sorted(self._publications.get(app, {}))
+
+    # -- queue management ---------------------------------------------------------
+
+    def queue_for(self, subscriber_app: str) -> SubscriberQueue:
+        with self._lock:
+            queue = self._queues.get(subscriber_app)
+            if queue is None:
+                queue = SubscriberQueue(
+                    subscriber_app, max_size=self._default_queue_limit
+                )
+                self._queues[subscriber_app] = queue
+            return queue
+
+    def bind(self, subscriber_app: str, publisher_app: str) -> SubscriberQueue:
+        """Subscribe ``subscriber_app``'s queue to ``publisher_app``."""
+        queue = self.queue_for(subscriber_app)
+        with self._lock:
+            self._bindings.setdefault(subscriber_app, set()).add(publisher_app)
+        return queue
+
+    def bindings_of(self, subscriber_app: str) -> Set[str]:
+        return set(self._bindings.get(subscriber_app, set()))
+
+    def subscribers_of(self, publisher_app: str) -> List[str]:
+        with self._lock:
+            return sorted(
+                sub for sub, pubs in self._bindings.items() if publisher_app in pubs
+            )
+
+    # -- routing ----------------------------------------------------------------
+
+    def publish(self, message: Message) -> None:
+        """Fan the message out to every bound subscriber queue.
+
+        Each queue receives its own wire-format copy, so subscribers can
+        never observe each other's mutations.
+        """
+        with self._lock:
+            targets = [
+                self._queues[sub]
+                for sub, pubs in self._bindings.items()
+                if message.app in pubs and sub in self._queues
+            ]
+        for queue in targets:
+            if self._should_drop():
+                self.dropped_messages += 1
+                continue
+            queue.publish(message.copy())
+            self.total_routed += 1
+
+    # -- fault injection -----------------------------------------------------------
+
+    def drop_next(self, count: int = 1) -> None:
+        with self._lock:
+            self._drop_next += count
+
+    def _should_drop(self) -> bool:
+        with self._lock:
+            if self._drop_next > 0:
+                self._drop_next -= 1
+                return True
+        return self.loss_probability > 0 and self._rng.random() < self.loss_probability
+
+    # -- introspection ----------------------------------------------------------
+
+    def backlog(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: len(queue) for name, queue in self._queues.items()}
+
+    def validate_binding(self, subscriber_app: str, publisher_app: str) -> None:
+        if publisher_app not in self._publications:
+            raise BrokerError(
+                f"{subscriber_app!r} subscribes to unknown publisher {publisher_app!r}"
+            )

@@ -1,0 +1,85 @@
+"""The write-message envelope (Fig 6b).
+
+A message carries every write of one publisher operation (or one
+transaction), its dependency map, a timestamp and the publisher's
+generation number. The payload is JSON-serialisable end to end — we
+round-trip through ``json`` to guarantee nothing non-serialisable leaks
+across the service boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Any, Dict, List, Optional
+
+_seq = itertools.count(1)
+_seq_lock = threading.Lock()
+
+
+class Message:
+    """One published write message."""
+
+    def __init__(
+        self,
+        app: str,
+        operations: List[Dict[str, Any]],
+        dependencies: Dict[str, int],
+        published_at: float,
+        generation: int = 1,
+        bootstrap: bool = False,
+        external_dependencies: Optional[Dict[str, int]] = None,
+        uid: Optional[str] = None,
+    ) -> None:
+        with _seq_lock:
+            self.seq = next(_seq)  # broker-side FIFO tiebreaker
+        #: Stable identity across redeliveries and wire copies, so
+        #: subscribers can deduplicate at-least-once deliveries.
+        self.uid = uid if uid is not None else f"{app}:{self.seq}"
+        self.app = app
+        self.operations = operations
+        self.dependencies = dependencies
+        #: Cross-application dependencies: waited on, never incremented (§4.2).
+        self.external_dependencies = dict(external_dependencies or {})
+        self.published_at = published_at
+        self.generation = generation
+        #: Marks messages produced by the bulk phase of a bootstrap (§4.4).
+        self.bootstrap = bootstrap
+        self.delivery_count = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "uid": self.uid,
+                "app": self.app,
+                "operations": self.operations,
+                "dependencies": self.dependencies,
+                "external_dependencies": self.external_dependencies,
+                "published_at": self.published_at,
+                "generation": self.generation,
+                "bootstrap": self.bootstrap,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Message":
+        data = json.loads(payload)
+        return cls(
+            app=data["app"],
+            operations=data["operations"],
+            dependencies=data["dependencies"],
+            published_at=data["published_at"],
+            generation=data.get("generation", 1),
+            bootstrap=data.get("bootstrap", False),
+            external_dependencies=data.get("external_dependencies"),
+            uid=data.get("uid"),
+        )
+
+    def copy(self) -> "Message":
+        """Wire-format round trip: what each subscriber queue stores."""
+        return Message.from_json(self.to_json())
+
+    def __repr__(self) -> str:
+        ops = [(op["operation"], op.get("id")) for op in self.operations]
+        return f"<Message app={self.app} ops={ops} deps={self.dependencies}>"

@@ -1,0 +1,115 @@
+"""Durable per-subscriber queue with ack/redeliver semantics."""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.broker.message import Message
+from repro.errors import BrokerError, QueueDecommissioned
+
+
+class SubscriberQueue:
+    """FIFO queue of write messages for one subscriber application.
+
+    ``pop`` hands out a message and keeps it *unacked*; ``ack`` removes
+    it; ``nack`` (or :meth:`requeue_unacked`) pushes it back to the front
+    for redelivery. When the backlog exceeds ``max_size`` the queue is
+    killed and the subscriber must re-bootstrap (§4.4).
+    """
+
+    def __init__(self, name: str, max_size: Optional[int] = None) -> None:
+        self.name = name
+        self.max_size = max_size
+        self._items: deque = deque()
+        self._unacked: Dict[int, Message] = {}
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self.decommissioned = False
+        self.total_published = 0
+        self.total_acked = 0
+
+    # -- broker side ---------------------------------------------------------
+
+    def publish(self, message: Message) -> None:
+        with self._lock:
+            if self.decommissioned:
+                return  # dropped: the subscriber is out of the ecosystem
+            self._items.append(message)
+            self.total_published += 1
+            if self.max_size is not None and len(self._items) > self.max_size:
+                self._items.clear()
+                self._unacked.clear()
+                self.decommissioned = True
+            self._available.notify_all()
+
+    def recommission(self) -> None:
+        """Bring a killed queue back (start of a partial bootstrap)."""
+        with self._lock:
+            self.decommissioned = False
+            self._items.clear()
+            self._unacked.clear()
+
+    # -- subscriber side -----------------------------------------------------
+
+    def pop(self, timeout: Optional[float] = 0.0) -> Optional[Message]:
+        """Take the next message (it stays unacked until :meth:`ack`).
+
+        ``timeout=0`` polls; ``timeout=None`` blocks indefinitely.
+        """
+        with self._lock:
+            if self.decommissioned:
+                raise QueueDecommissioned(self.name)
+            if not self._items and timeout != 0.0:
+                self._available.wait(timeout)
+            if self.decommissioned:
+                raise QueueDecommissioned(self.name)
+            if not self._items:
+                return None
+            message = self._items.popleft()
+            message.delivery_count += 1
+            self._unacked[message.seq] = message
+            return message
+
+    def ack(self, message: Message) -> None:
+        with self._lock:
+            if message.seq not in self._unacked:
+                raise BrokerError(f"ack of unknown delivery {message.seq}")
+            del self._unacked[message.seq]
+            self.total_acked += 1
+
+    def nack(self, message: Message) -> None:
+        """Return an unacked message to the front of the queue."""
+        with self._lock:
+            if message.seq in self._unacked:
+                del self._unacked[message.seq]
+                self._items.appendleft(message)
+                self._available.notify_all()
+
+    def requeue_unacked(self) -> int:
+        """Crash recovery: everything in flight goes back on the queue."""
+        with self._lock:
+            pending = sorted(self._unacked.values(), key=lambda m: m.seq)
+            for message in reversed(pending):
+                self._items.appendleft(message)
+            count = len(self._unacked)
+            self._unacked.clear()
+            if count:
+                self._available.notify_all()
+            return count
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def unacked_count(self) -> int:
+        with self._lock:
+            return len(self._unacked)
+
+    def peek_all(self) -> List[Message]:
+        with self._lock:
+            return list(self._items)

@@ -1,0 +1,59 @@
+"""Clocks used across the library.
+
+Production code paths take a :class:`Clock` so the discrete-event simulator
+and deterministic tests can substitute virtual time for wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Wall-clock time source (monotonic for intervals, epoch for stamps)."""
+
+    def now(self) -> float:
+        """Seconds since the epoch; used to timestamp published messages."""
+        return time.time()
+
+    def monotonic(self) -> float:
+        """Monotonic seconds; used to measure intervals."""
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Manually-advanced clock for deterministic tests and simulation.
+
+    ``sleep`` advances the clock instead of blocking, which makes callback
+    delays (e.g. the 100 ms subscriber callbacks of Fig 13(c)) free to
+    "execute" in tests.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+
+
+DEFAULT_CLOCK = Clock()

@@ -1,0 +1,14 @@
+"""Synapse core: the paper's primary contribution.
+
+Publish/subscribe declarations on MVC models (§3), automatic dependency
+tracking and the version-store publishing algorithm (§4.2), subscriber
+workers enforcing global/causal/weak delivery (§3.2), bootstrapping and
+failure recovery (§4.4), live schema migrations (§4.3) and the testing
+framework (§4.5).
+"""
+
+from repro.core.api import Ecosystem, Service
+from repro.core.delivery import CAUSAL, GLOBAL, WEAK
+from repro.core.observer import Ephemeral, Observer
+
+__all__ = ["Ecosystem", "Service", "GLOBAL", "CAUSAL", "WEAK", "Ephemeral", "Observer"]

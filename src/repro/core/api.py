@@ -1,0 +1,357 @@
+"""Synapse's public API: ecosystems, services and model declarations (§3).
+
+An :class:`Ecosystem` is the shared fabric (broker, clock, dependency
+hasher, generation authority). A :class:`Service` is one application:
+its database, its models, its publisher and subscriber engines, and its
+delivery-mode configuration.
+
+::
+
+    eco = Ecosystem()
+    pub = eco.service("pub1", database=MongoLike("m"))
+
+    @pub.model(publish=["name"])
+    class User(Model):
+        name = Field(str)
+
+    sub = eco.service("sub1", database=PostgresLike("pg"))
+
+    @sub.model(subscribe={"from": "pub1", "fields": ["name"]})
+    class User(Model):           # noqa: F811 — separate service namespace
+        name = Field(str)
+
+    with pub.controller():
+        User.create(name="ada")  # pub's User
+    sub.subscriber.drain()       # sub's User now has the row
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Union
+
+from repro.broker import Broker
+from repro.clock import Clock, DEFAULT_CLOCK
+from repro.core.delivery import CAUSAL, rank, validate_mode
+from repro.core.dependencies import ControllerStack, controller_scope
+from repro.core.generation import GenerationAuthority
+from repro.core.observer import NonPersistedMapper
+from repro.core.publisher import SynapsePublisher
+from repro.core.subscriber import SubscriptionSpec, SynapseSubscriber
+from repro.databases.kv import RedisLike
+from repro.errors import DecoratorViolation, PublicationError, SynapseError
+from repro.orm.mapper import mapper_for
+from repro.orm.model import Model, bind_model
+from repro.versionstore import (
+    DependencyHasher,
+    PublisherVersionStore,
+    ShardedKV,
+    SubscriberVersionStore,
+)
+
+
+class Ecosystem:
+    """The shared fabric connecting every service."""
+
+    def __init__(
+        self,
+        broker: Optional[Broker] = None,
+        clock: Optional[Clock] = None,
+        hasher: Optional[DependencyHasher] = None,
+        queue_limit: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.broker = broker or Broker(default_queue_limit=queue_limit, seed=seed)
+        self.clock = clock or DEFAULT_CLOCK
+        self.hasher = hasher or DependencyHasher()
+        self.generations = GenerationAuthority()
+        self.services: Dict[str, Service] = {}
+
+    def service(self, name: str, **kwargs: Any) -> "Service":
+        if name in self.services:
+            raise SynapseError(f"service {name!r} already exists")
+        service = Service(name, self, **kwargs)
+        self.services[name] = service
+        return service
+
+    def drain_all(self, max_rounds: int = 100) -> int:
+        """Run every subscriber until the whole ecosystem is quiescent —
+        decorator cascades can need several rounds."""
+        total = 0
+        for _ in range(max_rounds):
+            progressed = 0
+            for service in self.services.values():
+                progressed += service.subscriber.drain()
+            total += progressed
+            if progressed == 0:
+                break
+        return total
+
+
+class Service:
+    """One application in the ecosystem."""
+
+    def __init__(
+        self,
+        name: str,
+        ecosystem: Ecosystem,
+        database: Optional[Any] = None,
+        delivery_mode: str = CAUSAL,
+        version_store_shards: int = 1,
+    ) -> None:
+        self.name = name
+        self.ecosystem = ecosystem
+        self.database = database
+        self.delivery_mode = validate_mode(delivery_mode)
+        self.registry: Dict[str, type] = {}
+        self._published: Dict[type, List[str]] = {}
+        self._subscribed: Dict[type, List[SubscriptionSpec]] = {}
+        self._controllers = ControllerStack()
+        self._remote_state = threading.local()
+        self.publisher_version_store = PublisherVersionStore(
+            ShardedKV(
+                [RedisLike(f"{name}-pvs-{i}") for i in range(version_store_shards)]
+            ),
+            hasher=ecosystem.hasher,
+        )
+        self.subscriber_version_store = SubscriberVersionStore(
+            ShardedKV(
+                [RedisLike(f"{name}-svs-{i}") for i in range(version_store_shards)]
+            )
+        )
+        self.publisher = SynapsePublisher(self)
+        self.subscriber = SynapseSubscriber(self)
+
+    # ------------------------------------------------------------------
+    # Model declaration (§3.1)
+    # ------------------------------------------------------------------
+
+    def model(
+        self,
+        publish: Optional[List[str]] = None,
+        subscribe: Optional[Union[Dict[str, Any], List[Dict[str, Any]]]] = None,
+        ephemeral: bool = False,
+        observer: bool = False,
+        name: Optional[str] = None,
+    ):
+        """Class decorator binding a model to this service.
+
+        - ``publish=[...]``: attribute names to publish.
+        - ``subscribe={"from": app, "fields": [...] | {remote: local},
+          "mode": ...}`` or a list of such dicts (multi-publisher
+          subscriptions, Fig 3).
+        - ``ephemeral=True``: DB-less publisher; ``observer=True``:
+          DB-less subscriber (§3.1).
+        """
+        if ephemeral and observer:
+            raise SynapseError("a model cannot be both ephemeral and observer")
+        if ephemeral and subscribe:
+            raise SynapseError("ephemerals are publishers only")
+        if observer and publish:
+            raise SynapseError("observers are subscribers only")
+
+        def decorator(cls: type) -> type:
+            if not issubclass(cls, Model):
+                raise SynapseError(f"{cls.__name__} must subclass Model")
+            if name is not None:
+                # Model names must match across services (§3.1); ``name``
+                # lets test/app code avoid Python-scope name clashes.
+                cls.__name__ = name
+                cls.__qualname__ = name
+            if cls.__name__ in self.registry:
+                raise SynapseError(
+                    f"service {self.name!r} already has a model named "
+                    f"{cls.__name__!r}; each model has one owner (§3.1)"
+                )
+            if ephemeral or observer:
+                mapper = NonPersistedMapper()
+            else:
+                if self.database is None:
+                    raise SynapseError(
+                        f"service {self.name!r} has no database; use "
+                        "ephemeral/observer for DB-less models"
+                    )
+                mapper = mapper_for(self.database)
+            bind_model(cls, self.database, registry=self.registry, mapper=mapper)
+            cls._service = self
+            mapper.interceptor = self.publisher
+
+            if subscribe is not None:
+                self._declare_subscriptions(cls, subscribe, observer)
+            if publish is not None:
+                self._declare_publication(cls, list(publish))
+            return cls
+
+        return decorator
+
+    def _declare_subscriptions(
+        self,
+        cls: type,
+        subscribe: Union[Dict[str, Any], List[Dict[str, Any]]],
+        observer: bool,
+    ) -> None:
+        spec_dicts = subscribe if isinstance(subscribe, list) else [subscribe]
+        readonly: set = set(cls._readonly_fields)
+        for spec_dict in spec_dicts:
+            try:
+                from_app = spec_dict["from"]
+                raw_fields = spec_dict["fields"]
+            except KeyError as exc:
+                raise SynapseError(f"subscribe needs {exc} key") from None
+            if isinstance(raw_fields, dict):
+                fields = dict(raw_fields)
+            else:
+                fields = {name: name for name in raw_fields}
+            for local in fields.values():
+                if local not in cls._fields and local not in cls._virtual_fields:
+                    raise SynapseError(
+                        f"{cls.__name__} has no attribute {local!r} to receive "
+                        "the subscription"
+                    )
+            publisher_mode = self.ecosystem.broker.publisher_mode(from_app)
+            default_mode = CAUSAL
+            if publisher_mode is not None and rank(publisher_mode) < rank(CAUSAL):
+                default_mode = publisher_mode
+            mode = validate_mode(spec_dict.get("mode", default_mode))
+            spec = SubscriptionSpec(
+                from_app=from_app,
+                model_name=cls.__name__,
+                model_cls=cls,
+                fields=fields,
+                mode=mode,
+                observer=observer,
+            )
+            self.subscriber.add_subscription(spec)
+            self._subscribed.setdefault(cls, []).append(spec)
+            readonly.update(
+                local for local in fields.values() if local in cls._fields
+            )
+        cls._readonly_fields = frozenset(readonly)
+
+    def _declare_publication(self, cls: type, fields: List[str]) -> None:
+        for name in fields:
+            if name not in cls._fields and name not in cls._virtual_fields:
+                raise PublicationError(
+                    f"{cls.__name__} publishes unknown attribute {name!r}"
+                )
+        subscribed_locals = {
+            local
+            for spec in self._subscribed.get(cls, [])
+            for local in spec.fields.values()
+        }
+        overlap = subscribed_locals & set(fields)
+        if overlap:
+            raise DecoratorViolation(
+                f"{cls.__name__} may not re-publish subscribed attributes "
+                f"{sorted(overlap)} (§3.1)"
+            )
+        self._published[cls] = fields
+        self.ecosystem.broker.register_publication(
+            self.name, cls.__name__, fields, self.delivery_mode
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection used by the publisher/subscriber engines
+    # ------------------------------------------------------------------
+
+    @property
+    def broker(self) -> Broker:
+        return self.ecosystem.broker
+
+    def published_fields_for(self, model_cls: type) -> Optional[List[str]]:
+        return self._published.get(model_cls)
+
+    def subscription_specs_for(self, model_cls: type) -> List[SubscriptionSpec]:
+        return self._subscribed.get(model_cls, [])
+
+    def published_models(self) -> List[type]:
+        return list(self._published)
+
+    # ------------------------------------------------------------------
+    # Controller / background-job scopes (§2, §4.2)
+    # ------------------------------------------------------------------
+
+    def controller(self, user: Optional[Any] = None) -> controller_scope:
+        return controller_scope(self, user)
+
+    def background_job(self) -> controller_scope:
+        """Sidekiq-style job scope: same tracking, no user session."""
+        return controller_scope(self, user=None)
+
+    # ------------------------------------------------------------------
+    # Remote-application guard (subscriber persisting remote updates)
+    # ------------------------------------------------------------------
+
+    @property
+    def applying_remote(self) -> bool:
+        return bool(getattr(self._remote_state, "targets", None))
+
+    def is_applying_target(self, model_name: str, row_id: Any) -> bool:
+        """True (once) when the subscriber engine is persisting this very
+        object from a remote update. The token is one-shot: only the
+        engine's own save bypasses the publisher — any further write to
+        the same object from a subscriber callback (e.g. a decorator
+        updating its decoration) publishes normally (§3.1)."""
+        targets = getattr(self._remote_state, "targets", None)
+        if not targets:
+            return False
+        for entry in reversed(targets):
+            if (entry["model"], entry["id"]) == (model_name, row_id) \
+                    and not entry["used"]:
+                entry["used"] = True
+                return True
+        return False
+
+    @contextmanager
+    def applying_remote_scope(self, model_name: Optional[str] = None,
+                              row_id: Any = None):
+        targets = getattr(self._remote_state, "targets", None)
+        if targets is None:
+            targets = []
+            self._remote_state.targets = targets
+        targets.append({"model": model_name, "id": row_id, "used": False})
+        try:
+            yield
+        finally:
+            targets.pop()
+
+    # ------------------------------------------------------------------
+    # Bootstrap & recovery surface (§4.4)
+    # ------------------------------------------------------------------
+
+    @property
+    def bootstrap_active(self) -> bool:
+        """The ``Synapse.bootstrap?`` predicate of the paper's API."""
+        return self.subscriber.bootstrapping
+
+    def current_generation(self) -> int:
+        return self.ecosystem.generations.current(self.name)
+
+    def recover_publisher_version_store(self) -> int:
+        """Version-store death on the publisher side: bump the generation
+        and resume publishing with fresh counters (§4.4)."""
+        generation = self.ecosystem.generations.increment(self.name)
+        for shard in self.publisher_version_store.kv.shards:
+            shard.restart()
+            shard.flushall()
+        return generation
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters for dashboards/tests."""
+        queue = self.subscriber.queue
+        return {
+            "service": self.name,
+            "delivery_mode": self.delivery_mode,
+            "messages_published": self.publisher.messages_published,
+            "publish_overhead_mean_ms": self.publisher.overhead.mean() * 1000,
+            "messages_processed": self.subscriber.processed_messages,
+            "stale_discarded": self.subscriber.discarded_stale,
+            "duplicates_ignored": self.subscriber.duplicate_messages,
+            "queue_depth": len(queue) if queue is not None else 0,
+            "bootstrapping": self.subscriber.bootstrapping,
+            "generation": self.current_generation(),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Service {self.name!r} mode={self.delivery_mode}>"

@@ -1,0 +1,119 @@
+"""Dependency naming and controller/session scopes (§4.2).
+
+Dependencies are named ``app/table/id/N`` (the format visible in the
+Fig 6b message sample). The publisher tracks read dependencies
+implicitly within the scope of a controller (one HTTP request or one
+background job); writes within a controller are chained, and controllers
+sharing a user session serialise through the user object.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Set
+
+
+def dep_name(app: str, table: str, row_id: Any) -> str:
+    return f"{app}/{table}/id/{row_id}"
+
+
+class ControllerContext:
+    """One controller (or background-job) execution scope.
+
+    Collects implicit read dependencies from intercepted queries, chains
+    successive writes (the previous update's first write dependency
+    becomes a read dependency of the next), and carries the user object
+    whose dependency serialises the session.
+    """
+
+    def __init__(self, service: Any, user: Optional[Any] = None) -> None:
+        self.service = service
+        self.user = user
+        #: Implicit read deps: local (own-app) dependency names.
+        self.read_deps: List[str] = []
+        #: External deps from reading subscribed models: hashed name -> version.
+        self.external_deps: Dict[str, int] = {}
+        #: Chaining: first write dep of the previous update in this scope.
+        self.prev_write_dep: Optional[str] = None
+        #: Explicit write deps for the next update (add_write_deps API).
+        self.extra_write_deps: List[str] = []
+        self._seen_reads: Set[str] = set()
+
+    @property
+    def user_dep(self) -> Optional[str]:
+        if self.user is None or self.user.id is None:
+            return None
+        return dep_name(
+            self.service.name, type(self.user).table_name(), self.user.id
+        )
+
+    # -- implicit tracking (called by the publisher interceptor) -----------
+
+    def record_local_read(self, dep: str) -> None:
+        if dep not in self._seen_reads:
+            self._seen_reads.add(dep)
+            self.read_deps.append(dep)
+
+    def record_external_read(self, hashed_dep: str, version: int) -> None:
+        current = self.external_deps.get(hashed_dep, -1)
+        if version > current:
+            self.external_deps[hashed_dep] = version
+
+    def note_write(self, first_write_dep: str) -> None:
+        self.prev_write_dep = first_write_dep
+
+    # -- explicit dependencies (§3.1 API) -------------------------------------
+
+    def add_read_deps(self, *objects: Any) -> None:
+        """Explicitly mark objects as read dependencies (for aggregation
+        queries Synapse cannot infer, §4.2)."""
+        for obj in objects:
+            self.record_local_read(self._dep_of(obj))
+
+    def add_write_deps(self, *objects: Any) -> None:
+        """Explicitly force objects to be write dependencies of the next
+        update in this controller."""
+        for obj in objects:
+            self.extra_write_deps.append(self._dep_of(obj))
+
+    def _dep_of(self, obj: Any) -> str:
+        return dep_name(self.service.name, type(obj).table_name(), obj.id)
+
+
+class ControllerStack:
+    """Thread-local stack of active controller contexts for one service."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _stack(self) -> List[ControllerContext]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def push(self, ctx: ControllerContext) -> None:
+        self._stack().append(ctx)
+
+    def pop(self) -> ControllerContext:
+        return self._stack().pop()
+
+    def current(self) -> Optional[ControllerContext]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+
+class controller_scope:
+    """``with service.controller(user=u) as ctx:`` context manager."""
+
+    def __init__(self, service: Any, user: Optional[Any] = None) -> None:
+        self.service = service
+        self.ctx = ControllerContext(service, user)
+
+    def __enter__(self) -> ControllerContext:
+        self.service._controllers.push(self.ctx)
+        return self.ctx
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.service._controllers.pop()

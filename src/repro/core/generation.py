@@ -1,0 +1,30 @@
+"""Generation numbers for publisher version-store recovery (§4.4).
+
+The paper stores the generation in a reliable coordination service
+(Chubby/ZooKeeper); :class:`GenerationAuthority` plays that role. When a
+publisher's version store dies, the generation is incremented and
+publishing resumes with fresh counters; subscribers flush their own
+stores when the new generation reaches them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class GenerationAuthority:
+    """Reliable, monotonic per-publisher generation counters."""
+
+    def __init__(self) -> None:
+        self._generations: dict = {}
+        self._lock = threading.Lock()
+
+    def current(self, app: str) -> int:
+        with self._lock:
+            return self._generations.get(app, 1)
+
+    def increment(self, app: str) -> int:
+        with self._lock:
+            value = self._generations.get(app, 1) + 1
+            self._generations[app] = value
+            return value

@@ -1,0 +1,76 @@
+"""Marshalling model writes into the Fig 6(b) message format.
+
+Each operation record carries the operation kind, the object's full
+inheritance chain (so subscribers can consume polymorphic models, §4.1),
+its id and the published attributes. Virtual attributes are marshalled
+by calling their getters on a hydrated instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.broker.message import Message
+
+
+def marshal_attributes(
+    model_cls: type, row: Dict[str, Any], fields: List[str]
+) -> Dict[str, Any]:
+    """Published attribute values for one written row.
+
+    Persisted fields come straight from the row; virtual attributes are
+    computed through their getters (§3.1).
+    """
+    out: Dict[str, Any] = {}
+    instance = None
+    for name in fields:
+        if name in model_cls._fields:
+            out[name] = row.get(name)
+        elif name in model_cls._virtual_fields:
+            if instance is None:
+                instance = model_cls.from_row(row)
+            out[name] = getattr(instance, name)
+        else:
+            raise KeyError(f"{model_cls.__name__} has no published field {name!r}")
+    return out
+
+
+def marshal_operation(
+    kind: str, model_cls: type, row: Dict[str, Any], fields: List[str]
+) -> Dict[str, Any]:
+    attributes: Dict[str, Any] = {}
+    if kind in ("create", "update"):
+        attributes = marshal_attributes(model_cls, row, fields)
+    else:
+        # Deletes carry the last published attribute values as well as the
+        # id, so DB-less observers can act on them (Fig 5's after_destroy).
+        try:
+            attributes = marshal_attributes(model_cls, row, fields)
+        except Exception:
+            attributes = {}
+    return {
+        "operation": kind,
+        "types": model_cls.type_chain(),
+        "id": row.get("id"),
+        "attributes": attributes,
+    }
+
+
+def build_message(
+    app: str,
+    operations: List[Dict[str, Any]],
+    dependencies: Dict[str, int],
+    published_at: float,
+    generation: int,
+    external_dependencies: Optional[Dict[str, int]] = None,
+    bootstrap: bool = False,
+) -> Message:
+    return Message(
+        app=app,
+        operations=operations,
+        dependencies=dict(dependencies),
+        published_at=published_at,
+        generation=generation,
+        bootstrap=bootstrap,
+        external_dependencies=external_dependencies,
+    )

@@ -1,0 +1,76 @@
+"""Ephemerals and Observers: DB-less publishers and subscribers (§3.1).
+
+An *ephemeral* is a published model that is never persisted — e.g. a
+front-end service passing user actions straight to analytics
+subscribers. An *observer* is a subscribed model that is never persisted
+— its callbacks transform incoming updates into whatever local shape the
+service wants (Fig 5 turns Friendship rows into Neo4j edges).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, List, Optional
+
+from repro.orm.mapper import Mapper, Row
+
+
+class NonPersistedMapper(Mapper):
+    """Mapper for ephemerals/observers: assigns ids, stores nothing.
+
+    Writes still flow through the interceptor, which is the whole point:
+    an ephemeral's ``save()`` publishes without touching any DB.
+    """
+
+    engine_families = ()
+
+    def __init__(self) -> None:
+        super().__init__(db=None)
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def bind(self, model_cls: type) -> None:
+        self.model_cls = model_cls
+        self.table = model_cls.table_name()
+
+    def _next_id(self) -> int:
+        with self._lock:
+            return next(self._seq)
+
+    def _do_insert(self, attrs: Row) -> Row:
+        row = dict(attrs)
+        if row.get("id") is None:
+            row["id"] = self._next_id()
+        return row
+
+    def _do_update(self, row_id: Any, attrs: Row) -> Row:
+        row = dict(attrs)
+        row["id"] = row_id
+        return row
+
+    def _do_delete(self, row_id: Any) -> Row:
+        return {"id": row_id}
+
+    def _do_find(self, row_id: Any) -> Optional[Row]:
+        return None
+
+    def _do_where(
+        self, conditions: Row, limit: Optional[int], order_by: Optional[tuple]
+    ) -> List[Row]:
+        return []
+
+    def _do_count(self, conditions: Row) -> int:
+        return 0
+
+    def current_transaction(self):
+        return None
+
+
+class Ephemeral:
+    """Marker mixin for DB-less published models (documentation aid; the
+    authoritative flag is ``ephemeral=True`` on ``Service.model``)."""
+
+
+class Observer:
+    """Marker mixin for DB-less subscribed models."""

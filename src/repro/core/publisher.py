@@ -1,0 +1,299 @@
+"""The Synapse publisher: interception, dependency versioning, 2PC (§4.2).
+
+Implements the ORM interceptor protocol. For every write of a published
+model it:
+
+1. computes write dependencies (the object itself first, then the user
+   session object under causal mode, then the global object under global
+   mode) and read dependencies (implicit controller reads, the chained
+   previous write, explicit ``add_read_deps``);
+2. acquires locks on the write dependencies;
+3. bumps the version-store counters (``ops``/``version``) obtaining the
+   message version of each dependency;
+4. performs the engine write and reads the written row back;
+5. releases the locks and publishes the Fig 6(b) message.
+
+Writes inside a DB transaction are deferred and combined into a single
+message published through two-phase-commit hooks on the transaction, so
+commit + version bumps + publish are atomic (§4.2 "Transactions"). A
+version-store crash mid-algorithm bumps the publisher's generation
+number and resumes with fresh counters (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.delivery import GLOBAL, GLOBAL_OBJECT, WEAK
+from repro.core.dependencies import dep_name
+from repro.core.marshal import build_message, marshal_operation
+from repro.errors import DecoratorViolation, FaultInjected
+from repro.orm.mapper import ReadEvent, Row, WriteIntent
+from repro.runtime.metrics import Histogram
+
+
+def _dedupe(deps: List[str], exclude: List[str]) -> List[str]:
+    """Order-preserving dedupe, dropping anything in ``exclude``."""
+    seen = set(exclude)
+    out: List[str] = []
+    for dep in deps:
+        if dep not in seen:
+            seen.add(dep)
+            out.append(dep)
+    return out
+
+
+class _TxnBatch:
+    """Writes accumulated within one DB transaction."""
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[str, type, Row, List[str]]] = []
+        self.message = None
+        self.first_write_dep: Optional[str] = None
+        self.ctx = None
+
+
+class SynapsePublisher:
+    """Per-service publishing engine; one instance per publisher app."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        #: Wall-clock seconds spent inside Synapse publish logic — the
+        #: "Synapse time" column of Fig 12(a).
+        self.overhead = Histogram()
+        self.messages_published = 0
+
+    # ------------------------------------------------------------------
+    # Interceptor protocol
+    # ------------------------------------------------------------------
+
+    def write(self, intent: WriteIntent, perform: Callable[[], Row]) -> Row:
+        service = self.service
+        model_cls = intent.model_cls
+        if service.is_applying_target(model_cls.__name__, intent.row_id):
+            # The subscriber engine persisting a remote update must not
+            # republish it; nested writes from subscriber callbacks (e.g.
+            # decoration updates) still publish normally.
+            return perform()
+        pub_fields = service.published_fields_for(model_cls)
+        if pub_fields is None:
+            return perform()  # unpublished model: plain DB write
+
+        if service.subscription_specs_for(model_cls) and intent.kind in (
+            "create",
+            "delete",
+        ):
+            raise DecoratorViolation(
+                f"{service.name!r} decorates {model_cls.__name__} and may not "
+                f"{intent.kind} its instances (§3.1)"
+            )
+
+        txn = self._current_transaction(model_cls)
+        if txn is not None:
+            return self._transactional_write(txn, intent, perform, model_cls, pub_fields)
+        return self._immediate_write(intent, perform, model_cls, pub_fields)
+
+    def read(self, event: ReadEvent) -> None:
+        """Register read dependencies for rows returned to the app."""
+        service = self.service
+        ctx = service._controllers.current()
+        if ctx is None:
+            return  # applications are stateless outside controllers (§2)
+        model_cls = event.model_cls
+        table = model_cls.table_name()
+        specs = service.subscription_specs_for(model_cls)
+        if specs:
+            # Reads of subscribed data are *external* dependencies: the
+            # version is what our subscriber-side store has seen (§4.2).
+            hasher = service.ecosystem.hasher
+            store = service.subscriber_version_store
+            for spec in specs:
+                for row in event.rows:
+                    hashed = hasher.hash(dep_name(spec.from_app, table, row["id"]))
+                    ctx.record_external_read(hashed, store.ops(hashed))
+        elif service.published_fields_for(model_cls) is not None:
+            for row in event.rows:
+                ctx.record_local_read(dep_name(service.name, table, row["id"]))
+
+    # ------------------------------------------------------------------
+    # Immediate (non-transactional) path
+    # ------------------------------------------------------------------
+
+    def _immediate_write(
+        self,
+        intent: WriteIntent,
+        perform: Callable[[], Row],
+        model_cls: type,
+        pub_fields: List[str],
+    ) -> Row:
+        service = self.service
+        clock = service.ecosystem.clock
+        start = clock.monotonic()
+        mode = service.delivery_mode
+        ctx = service._controllers.current()
+        table = model_cls.table_name()
+
+        obj_dep: Optional[str] = None
+        write_deps: List[str] = []
+        if intent.row_id is not None:
+            obj_dep = dep_name(service.name, table, intent.row_id)
+            write_deps.append(obj_dep)
+        read_deps: List[str] = []
+        external: Dict[str, int] = {}
+        if mode != WEAK and ctx is not None:
+            if ctx.user_dep is not None:
+                write_deps.append(ctx.user_dep)
+            if ctx.extra_write_deps:
+                write_deps.extend(ctx.extra_write_deps)
+                ctx.extra_write_deps = []
+            read_deps.extend(ctx.read_deps)
+            ctx.read_deps = []
+            ctx._seen_reads.clear()
+            if ctx.prev_write_dep is not None:
+                read_deps.append(ctx.prev_write_dep)
+            external = dict(ctx.external_deps)
+            ctx.external_deps = {}
+        if mode == GLOBAL:
+            write_deps.append(GLOBAL_OBJECT)
+
+        store = service.publisher_version_store
+        locks = store.acquire_write_locks(write_deps)
+        try:
+            row = perform()
+            if obj_dep is None:
+                obj_dep = dep_name(service.name, table, row["id"])
+                write_deps.insert(0, obj_dep)
+            # Each object is one write dependency even when it plays two
+            # roles (e.g. the session user updating itself), and an object
+            # both read and written is only a write dependency (Fig 8: W4
+            # reads the post it updates, read_deps stay empty).
+            write_deps = _dedupe(write_deps, exclude=[])
+            read_deps = _dedupe(read_deps, exclude=write_deps)
+            versions = self._register_with_recovery(read_deps, write_deps)
+        finally:
+            store.release_locks(locks)
+
+        operation = marshal_operation(intent.kind, model_cls, row, pub_fields)
+        message = build_message(
+            app=service.name,
+            operations=[operation],
+            dependencies=versions,
+            published_at=clock.now(),
+            generation=service.current_generation(),
+            external_dependencies=external,
+        )
+        # Publish-time work done; stop the overhead clock before the
+        # (broker-side) fan-out which the paper attributes to the fabric.
+        self.overhead.record(clock.monotonic() - start)
+        service.broker.publish(message)
+        self.messages_published += 1
+        if ctx is not None:
+            ctx.note_write(obj_dep)
+        return row
+
+    # ------------------------------------------------------------------
+    # Transactional path (2PC, §4.2)
+    # ------------------------------------------------------------------
+
+    def _transactional_write(
+        self,
+        txn: Any,
+        intent: WriteIntent,
+        perform: Callable[[], Row],
+        model_cls: type,
+        pub_fields: List[str],
+    ) -> Row:
+        # The engine already holds locks on written rows until commit, so
+        # the publisher skips its own write-dep locks (§4.2 optimisation).
+        row = perform()
+        batch: Optional[_TxnBatch] = getattr(txn, "_synapse_batch", None)
+        if batch is None:
+            batch = _TxnBatch()
+            batch.ctx = self.service._controllers.current()
+            txn._synapse_batch = batch
+            txn.on_prepare.append(self._prepare_transaction)
+            txn.on_commit.append(self._commit_transaction)
+        batch.ops.append((intent.kind, model_cls, dict(row), pub_fields))
+        return row
+
+    def _prepare_transaction(self, txn: Any) -> None:
+        """2PC phase one: bump versions and build the combined message."""
+        service = self.service
+        clock = service.ecosystem.clock
+        start = clock.monotonic()
+        batch: _TxnBatch = txn._synapse_batch
+        mode = service.delivery_mode
+        ctx = batch.ctx
+
+        write_deps: List[str] = []
+        for _kind, model_cls, row, _fields in batch.ops:
+            dep = dep_name(service.name, model_cls.table_name(), row["id"])
+            if dep not in write_deps:
+                write_deps.append(dep)
+        batch.first_write_dep = write_deps[0] if write_deps else None
+        read_deps: List[str] = []
+        external: Dict[str, int] = {}
+        if mode != WEAK and ctx is not None:
+            if ctx.user_dep is not None:
+                write_deps.append(ctx.user_dep)
+            if ctx.extra_write_deps:
+                write_deps.extend(ctx.extra_write_deps)
+                ctx.extra_write_deps = []
+            read_deps.extend(ctx.read_deps)
+            ctx.read_deps = []
+            ctx._seen_reads.clear()
+            if ctx.prev_write_dep is not None:
+                read_deps.append(ctx.prev_write_dep)
+            external = dict(ctx.external_deps)
+            ctx.external_deps = {}
+        if mode == GLOBAL:
+            write_deps.append(GLOBAL_OBJECT)
+
+        write_deps = _dedupe(write_deps, exclude=[])
+        read_deps = _dedupe(read_deps, exclude=write_deps)
+        versions = self._register_with_recovery(read_deps, write_deps)
+        operations = [
+            marshal_operation(kind, model_cls, row, fields)
+            for kind, model_cls, row, fields in batch.ops
+        ]
+        batch.message = build_message(
+            app=service.name,
+            operations=operations,
+            dependencies=versions,
+            published_at=clock.now(),
+            generation=service.current_generation(),
+            external_dependencies=external,
+        )
+        self.overhead.record(clock.monotonic() - start)
+
+    def _commit_transaction(self, txn: Any) -> None:
+        """2PC phase two: the local commit succeeded — publish."""
+        batch: _TxnBatch = txn._synapse_batch
+        if batch.message is None:
+            return
+        self.service.broker.publish(batch.message)
+        self.messages_published += 1
+        if batch.ctx is not None and batch.first_write_dep is not None:
+            batch.ctx.note_write(batch.first_write_dep)
+
+    # ------------------------------------------------------------------
+    # Version-store failure recovery (§4.4)
+    # ------------------------------------------------------------------
+
+    def _register_with_recovery(
+        self, read_deps: List[str], write_deps: List[str]
+    ) -> Dict[str, int]:
+        store = self.service.publisher_version_store
+        try:
+            return store.register_operation(read_deps, write_deps)
+        except FaultInjected:
+            self.service.recover_publisher_version_store()
+            return store.register_operation(read_deps, write_deps)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _current_transaction(model_cls: type) -> Any:
+        mapper = model_cls.__mapper__
+        getter = getattr(mapper, "current_transaction", None)
+        return getter() if getter is not None else None

@@ -1,0 +1,351 @@
+"""The Synapse subscriber engine (§4.1, §4.2).
+
+Workers take write messages off the service's durable queue, wait until
+the message's dependencies are satisfied in the local version store
+(per the subscription's delivery mode), apply the operations through the
+local ORM (firing the application's active-model callbacks), increment
+the dependency counters, and ack.
+
+Weak mode never waits: it applies fresh updates and discards stale ones.
+During bootstrap every message is handled with weak semantics (§3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.broker.message import Message
+from repro.core.delivery import (
+    CAUSAL,
+    WEAK,
+    check_subscription_mode,
+    effective_dependencies,
+)
+from repro.core.dependencies import dep_name
+from repro.errors import QueueDecommissioned, SubscriptionError
+from repro.orm.associations import snake_case
+from repro.orm.callbacks import run_callbacks
+from repro.orm.model import pluralize
+
+
+@dataclass
+class SubscriptionSpec:
+    """One ``subscribe from:`` declaration on a model (§3.1)."""
+
+    from_app: str
+    model_name: str
+    model_cls: type
+    #: remote attribute -> local attribute (identity unless ``as:`` used).
+    fields: Dict[str, str]
+    mode: str
+    observer: bool = False
+
+
+def table_for_type(type_name: str) -> str:
+    return pluralize(snake_case(type_name))
+
+
+class SynapseSubscriber:
+    """Per-service subscribing engine."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        #: (from_app, model_name) -> spec
+        self.specs: Dict[Tuple[str, str], SubscriptionSpec] = {}
+        #: per-publisher delivery mode (weakest spec wins).
+        self.app_modes: Dict[str, str] = {}
+        #: per-publisher generation last seen.
+        self.generations: Dict[str, int] = {}
+        self.bootstrapping = False
+        self.processed_messages = 0
+        self.discarded_stale = 0
+        self.duplicate_messages = 0
+        self.queue = None
+        # At-least-once deduplication: remember recently-applied message
+        # uids so a redelivery after a missed ack is a no-op (applying
+        # twice would double-increment the dependency counters).
+        self._applied_uids: "deque[str]" = deque(maxlen=4096)
+        self._applied_uid_set: set = set()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_subscription(self, spec: SubscriptionSpec) -> None:
+        service = self.service
+        published = service.broker.published_fields(spec.from_app, spec.model_name)
+        if published is None:
+            raise SubscriptionError(
+                f"{service.name!r} subscribes to {spec.from_app}/{spec.model_name} "
+                "but that publisher is not deployed (publishers deploy first, §4.3)"
+            )
+        unknown = sorted(set(spec.fields) - set(published))
+        if unknown:
+            raise SubscriptionError(
+                f"{service.name!r} subscribes to unpublished attributes "
+                f"{unknown} of {spec.from_app}/{spec.model_name} (§4.5)"
+            )
+        publisher_mode = service.broker.publisher_mode(spec.from_app) or CAUSAL
+        check_subscription_mode(spec.mode, publisher_mode)
+        current = self.app_modes.get(spec.from_app)
+        if current is not None and current != spec.mode:
+            # Delivery modes are chosen per publisher (§3.2): one app's
+            # message stream cannot be half-causal, half-weak.
+            raise SubscriptionError(
+                f"{service.name!r} already subscribes to {spec.from_app!r} "
+                f"in {current!r} mode; cannot mix with {spec.mode!r}"
+            )
+        self.specs[(spec.from_app, spec.model_name)] = spec
+        self.app_modes[spec.from_app] = spec.mode
+        self.queue = service.broker.bind(service.name, spec.from_app)
+
+    def spec_for(self, app: str, types: List[str]) -> Optional[SubscriptionSpec]:
+        """Match the most-derived subscribed type in the inheritance chain
+        (polymorphic consumption, §4.1)."""
+        for type_name in types:
+            spec = self.specs.get((app, type_name))
+            if spec is not None:
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # Synchronous draining (deterministic execution)
+    # ------------------------------------------------------------------
+
+    def drain(self, max_rounds: int = 1000) -> int:
+        """Process queued messages until quiescent; returns the number
+        processed. Messages whose dependencies cannot be satisfied stay
+        queued (the §6.5 deadlock scenario when messages were lost)."""
+        if self.queue is None:
+            return 0
+        processed = 0
+        pending: List[Message] = []
+        for _ in range(max_rounds):
+            try:
+                while True:
+                    message = self.queue.pop()
+                    if message is None:
+                        break
+                    pending.append(message)
+            except QueueDecommissioned:
+                raise
+            progress = False
+            remaining: List[Message] = []
+            for message in sorted(pending, key=lambda m: m.seq):
+                if self.process_message(message):
+                    self.queue.ack(message)
+                    processed += 1
+                    progress = True
+                else:
+                    remaining.append(message)
+            pending = remaining
+            if not progress and not len(self.queue):
+                break
+        for message in pending:
+            self.queue.nack(message)
+        if self.bootstrapping and self.queue is not None and not len(self.queue):
+            self.bootstrapping = False
+        return processed
+
+    def stuck_dependencies(self) -> Dict[str, Tuple[int, int]]:
+        """Unsatisfied deps of queued messages (deadlock diagnostics)."""
+        if self.queue is None:
+            return {}
+        out: Dict[str, Tuple[int, int]] = {}
+        store = self.service.subscriber_version_store
+        for message in self.queue.peek_all():
+            required = {**message.dependencies, **message.external_dependencies}
+            out.update(store.missing(required))
+        return out
+
+    # ------------------------------------------------------------------
+    # Message processing
+    # ------------------------------------------------------------------
+
+    def process_message(self, message: Message, wait_timeout: float = 0.0) -> bool:
+        """Apply one message if its dependencies allow; True when done."""
+        if message.uid in self._applied_uid_set:
+            self.duplicate_messages += 1
+            return True  # redelivered duplicate: safe to ack again
+        mode = self.app_modes.get(message.app, WEAK)
+        if not self._generation_ready(message):
+            return False
+
+        store = self.service.subscriber_version_store
+        if (self.bootstrapping or message.bootstrap) and mode != WEAK:
+            # Bootstrap forces weak semantics (§3.2): apply without
+            # waiting, but keep full counter accounting so the configured
+            # mode resumes cleanly once in sync.
+            for operation in message.operations:
+                self._apply_operation(message.app, operation)
+            store.apply(message.dependencies.keys())
+            self._mark_applied(message.uid)
+            self.processed_messages += 1
+            return True
+
+        object_deps = self._object_deps(message)
+        if mode == WEAK:
+            self._apply_weak(message, object_deps)
+            self._mark_applied(message.uid)
+            self.processed_messages += 1
+            return True
+
+        required = dict(
+            effective_dependencies(message.dependencies, mode, set(object_deps))
+        )
+        required.update(message.external_dependencies)
+        if wait_timeout > 0:
+            if not store.wait_satisfied(required, wait_timeout):
+                return False
+        elif not store.satisfied(required):
+            return False
+        self._apply_all(message)
+        # Increment every own-app dependency; externals are never bumped.
+        store.apply(message.dependencies.keys())
+        self._mark_applied(message.uid)
+        self.processed_messages += 1
+        return True
+
+    def _apply_all(self, message: Message) -> None:
+        """Apply every operation of one message, atomically when the
+        local engine supports transactions — a multi-write publisher
+        transaction then lands as one subscriber transaction (§4.2)."""
+        db = self.service.database
+        if (
+            len(message.operations) > 1
+            and db is not None
+            and getattr(db, "supports_transactions", False)
+            and db.current_transaction() is None
+        ):
+            with db.begin():
+                for operation in message.operations:
+                    self._apply_operation(message.app, operation)
+            return
+        for operation in message.operations:
+            self._apply_operation(message.app, operation)
+
+    def force_apply(self, message: Message) -> None:
+        """Give up waiting for a late/lost dependency and apply anyway
+        (the configurable-timeout semantics recommended in §6.5: causal
+        is timeout=∞, weak is timeout=0, this is anything in between)."""
+        if message.uid in self._applied_uid_set:
+            return
+        for operation in message.operations:
+            self._apply_operation(message.app, operation)
+        self.service.subscriber_version_store.apply(message.dependencies.keys())
+        self._mark_applied(message.uid)
+        self.processed_messages += 1
+
+    def _mark_applied(self, uid: str) -> None:
+        if len(self._applied_uids) == self._applied_uids.maxlen:
+            oldest = self._applied_uids.popleft()
+            self._applied_uid_set.discard(oldest)
+        self._applied_uids.append(uid)
+        self._applied_uid_set.add(uid)
+
+    def _object_deps(self, message: Message) -> Dict[str, Dict[str, Any]]:
+        """hashed object dep -> operation, for the written objects."""
+        hasher = self.service.ecosystem.hasher
+        out: Dict[str, Dict[str, Any]] = {}
+        for operation in message.operations:
+            table = table_for_type(operation["types"][0])
+            hashed = hasher.hash(dep_name(message.app, table, operation["id"]))
+            out[hashed] = operation
+        return out
+
+    def _apply_weak(
+        self, message: Message, object_deps: Dict[str, Dict[str, Any]]
+    ) -> None:
+        """Weak delivery: apply fresh operations, discard stale ones, and
+        fast-forward per-object counters (§3.2, §4.2)."""
+        store = self.service.subscriber_version_store
+        for hashed, operation in object_deps.items():
+            version = message.dependencies.get(hashed, 0)
+            if store.is_stale(hashed, version):
+                self.discarded_stale += 1
+                continue
+            self._apply_operation(message.app, operation)
+            store.fast_forward(hashed, version)
+
+    def _generation_ready(self, message: Message) -> bool:
+        """Handle publisher generation bumps (§4.4): older-generation
+        messages must all be processed, then the app's dependency
+        counters are flushed before the new generation flows."""
+        current = self.generations.get(message.app, 1)
+        if message.generation < current:
+            return True  # stale generation: process (weakly harmless)
+        if message.generation == current:
+            return True
+        if self.queue is not None:
+            for queued in self.queue.peek_all():
+                if queued.app == message.app and queued.generation < message.generation:
+                    return False
+        self._flush_app_dependencies(message.app)
+        self.generations[message.app] = message.generation
+        return True
+
+    def _flush_app_dependencies(self, app: str) -> None:
+        store = self.service.subscriber_version_store
+        if self.service.ecosystem.hasher.space is None:
+            for shard in store.kv.shards:
+                for key in shard.keys(f"s:{app}/"):
+                    shard.delete(key)
+        else:
+            store.flush()  # hashed space: cannot tell apps apart
+
+    # ------------------------------------------------------------------
+    # Applying operations through the local ORM
+    # ------------------------------------------------------------------
+
+    def _apply_operation(self, app: str, operation: Dict[str, Any]) -> None:
+        spec = self.spec_for(app, operation["types"])
+        if spec is None:
+            return  # this service does not subscribe to the model
+        model_cls = spec.model_cls
+        kind = operation["operation"]
+        attrs = {
+            local: operation["attributes"][remote]
+            for remote, local in spec.fields.items()
+            if remote in operation["attributes"]
+        }
+        service = self.service
+        with service.applying_remote_scope(model_cls.__name__, operation["id"]), \
+                model_cls._suspend_readonly_guard():
+            if spec.observer:
+                self._apply_to_observer(model_cls, kind, operation, attrs)
+            elif kind == "delete":
+                row = model_cls.__mapper__.find(operation["id"])
+                if row is not None:
+                    model_cls.from_row(row).destroy()
+            else:
+                instance = model_cls.find_or_initialize(operation["id"])
+                for name, value in attrs.items():
+                    setattr(instance, name, value)
+                instance.save()
+
+    @staticmethod
+    def _apply_to_observer(
+        model_cls: type, kind: str, operation: Dict[str, Any], attrs: Dict[str, Any]
+    ) -> None:
+        """Observers are never persisted: hydrate and fire callbacks."""
+        instance = model_cls.__new__(model_cls)
+        instance._attributes = {
+            name: f.default_value() for name, f in model_cls._fields.items()
+        }
+        instance._changed = set()
+        instance._new_record = kind == "create"
+        instance._attributes["id"] = operation["id"]
+        for name, value in attrs.items():
+            setattr(instance, name, value)
+        if kind == "create":
+            run_callbacks(instance, "before_create")
+            instance._new_record = False
+            run_callbacks(instance, "after_create")
+        elif kind == "update":
+            run_callbacks(instance, "before_update")
+            run_callbacks(instance, "after_update")
+        elif kind == "delete":
+            run_callbacks(instance, "before_destroy")
+            run_callbacks(instance, "after_destroy")

@@ -1,0 +1,109 @@
+"""Synapse's testing framework (§4.5).
+
+Publishers export *factories* (sample data per published model). Sub-
+scriber test suites replay those factories as emulated wire payloads —
+exactly what production would deliver — without running the publisher
+application. Static checks for unpublished attributes already happen at
+declaration time (``SubscriptionError``); :func:`check_ecosystem` re-runs
+them across a whole ecosystem and reports every problem at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List
+
+from repro.core.marshal import build_message, marshal_operation
+from repro.errors import SynapseError
+
+
+class ModelFactory:
+    """Sample-data factory for one published model (factory_girl-style).
+
+    ``defaults`` may contain callables taking the sequence number.
+    """
+
+    def __init__(self, model_cls: type, defaults: Dict[str, Any]) -> None:
+        self.model_cls = model_cls
+        self.defaults = defaults
+        self._seq = itertools.count(1)
+
+    def build_attributes(self, **overrides: Any) -> Dict[str, Any]:
+        n = next(self._seq)
+        attrs: Dict[str, Any] = {}
+        for name, value in self.defaults.items():
+            attrs[name] = value(n) if callable(value) else value
+        attrs.update(overrides)
+        attrs.setdefault("id", n)
+        return attrs
+
+
+class PublisherFactoryFile:
+    """The per-publisher factory file shipped to subscriber developers."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self.factories: Dict[str, ModelFactory] = {}
+
+    def register(self, model_cls: type, **defaults: Any) -> ModelFactory:
+        if self.service.published_fields_for(model_cls) is None:
+            raise SynapseError(
+                f"{model_cls.__name__} is not published by {self.service.name!r}"
+            )
+        factory = ModelFactory(model_cls, defaults)
+        self.factories[model_cls.__name__] = factory
+        return factory
+
+    def emulate_payload(
+        self, model_name: str, kind: str = "create", **overrides: Any
+    ):
+        """Build the exact wire message production would deliver for a
+        factory-made object (used by subscriber integration tests)."""
+        factory = self.factories.get(model_name)
+        if factory is None:
+            raise SynapseError(f"no factory for {model_name!r}")
+        attrs = factory.build_attributes(**overrides)
+        fields = self.service.published_fields_for(factory.model_cls)
+        operation = marshal_operation(kind, factory.model_cls, attrs, fields)
+        # Emulated payloads carry no dependency constraints so subscriber
+        # tests run them standalone.
+        return build_message(
+            app=self.service.name,
+            operations=[operation],
+            dependencies={},
+            published_at=self.service.ecosystem.clock.now(),
+            generation=self.service.current_generation(),
+        )
+
+    def deliver(self, subscriber_service: Any, model_name: str,
+                kind: str = "create", **overrides: Any) -> None:
+        """Inject an emulated payload straight into a subscriber."""
+        message = self.emulate_payload(model_name, kind, **overrides)
+        subscriber_service.subscriber.process_message(message)
+
+
+def check_ecosystem(ecosystem: Any) -> List[str]:
+    """Static validation sweep: every subscription against every
+    publication. Returns human-readable problem strings (empty = OK)."""
+    problems: List[str] = []
+    broker = ecosystem.broker
+    for service in ecosystem.services.values():
+        for (from_app, model_name), spec in service.subscriber.specs.items():
+            published = broker.published_fields(from_app, model_name)
+            if published is None:
+                problems.append(
+                    f"{service.name}: subscribes to unknown "
+                    f"{from_app}/{model_name}"
+                )
+                continue
+            missing = sorted(set(spec.fields) - set(published))
+            if missing:
+                problems.append(
+                    f"{service.name}: attributes {missing} of "
+                    f"{from_app}/{model_name} are not published"
+                )
+            if from_app not in ecosystem.services:
+                problems.append(
+                    f"{service.name}: publisher {from_app!r} is not running"
+                )
+    return problems

@@ -1,0 +1,16 @@
+"""In-memory database engines standing in for the paper's backends.
+
+Each engine reproduces the data model, write path and query surface of one
+family from Table 1 of the paper:
+
+- :mod:`repro.databases.relational` — PostgreSQL / MySQL / Oracle
+- :mod:`repro.databases.document` — MongoDB / TokuMX / RethinkDB
+- :mod:`repro.databases.columnar` — Cassandra
+- :mod:`repro.databases.search` — Elasticsearch
+- :mod:`repro.databases.graph` — Neo4j
+- :mod:`repro.databases.kv` — Redis (used for Synapse version stores)
+"""
+
+from repro.databases.base import Database, EngineStats, FaultPlan
+
+__all__ = ["Database", "EngineStats", "FaultPlan"]

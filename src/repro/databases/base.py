@@ -1,0 +1,149 @@
+"""Common machinery shared by every in-memory engine.
+
+The engines differ widely in data model and query surface, so the base
+class deliberately stays small: identity, statistics, fault injection and
+an optional artificial service time used to model relative engine speeds
+in benchmarks (the paper's engines have very different write costs, e.g.
+PostgreSQL saturating at 12k writes/s vs Elasticsearch at 20k in Fig 13b).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.clock import Clock, DEFAULT_CLOCK
+from repro.errors import FaultInjected
+
+
+@dataclass
+class EngineStats:
+    """Operation counters maintained by every engine."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    scans: int = 0
+    index_lookups: int = 0
+    transactions: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "scans": self.scans,
+            "index_lookups": self.index_lookups,
+            "transactions": self.transactions,
+        }
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.deletes = 0
+        self.scans = 0
+        self.index_lookups = 0
+        self.transactions = 0
+
+
+@dataclass
+class FaultPlan:
+    """Declarative fault injection for an engine.
+
+    ``fail_next_writes`` makes the next N write operations raise
+    :class:`FaultInjected` (after letting ``skip_next_writes`` through
+    first); ``down`` fails every operation until cleared.
+    """
+
+    fail_next_writes: int = 0
+    skip_next_writes: int = 0
+    down: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def check_write(self) -> None:
+        with self._lock:
+            if self.down:
+                raise FaultInjected("engine is down")
+            if self.skip_next_writes > 0:
+                self.skip_next_writes -= 1
+                return
+            if self.fail_next_writes > 0:
+                self.fail_next_writes -= 1
+                raise FaultInjected("injected write failure")
+
+    def check_read(self) -> None:
+        with self._lock:
+            if self.down:
+                raise FaultInjected("engine is down")
+
+
+class Database:
+    """Base class for every engine.
+
+    Parameters
+    ----------
+    name:
+        Instance name, used in diagnostics and metrics.
+    clock:
+        Time source; benchmarks may substitute a :class:`VirtualClock`.
+    write_cost, read_cost:
+        Optional artificial per-operation service times (seconds) applied
+        via ``clock.sleep``. Zero by default; the Fig 13(b) benchmark sets
+        them from calibrated measurements to model engine speed ratios.
+    """
+
+    #: Marketing-name of the engine family this instance emulates.
+    engine_family: str = "abstract"
+    #: Whether writes can return the written rows (``RETURNING *``, §4.1).
+    supports_returning: bool = False
+    #: Whether multi-statement atomic transactions are supported (§4.2).
+    supports_transactions: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Clock] = None,
+        write_cost: float = 0.0,
+        read_cost: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.clock = clock or DEFAULT_CLOCK
+        self.write_cost = write_cost
+        self.read_cost = read_cost
+        self.stats = EngineStats()
+        self.faults = FaultPlan()
+        #: Optional ring buffer of (operation, detail) entries; enable
+        #: with :meth:`enable_query_log` for debugging/tests.
+        self.query_log = None
+        # One engine-wide lock keeps each operation atomic under the
+        # threaded worker pools; the in-memory ops are far cheaper than the
+        # lock hold times real engines exhibit, so this does not distort
+        # relative benchmark shapes.
+        self._lock = threading.RLock()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _charge_write(self) -> None:
+        self.faults.check_write()
+        self.stats.writes += 1
+        if self.write_cost:
+            self.clock.sleep(self.write_cost)
+
+    def _charge_read(self) -> None:
+        self.faults.check_read()
+        self.stats.reads += 1
+        if self.read_cost:
+            self.clock.sleep(self.read_cost)
+
+    def enable_query_log(self, capacity: int = 256) -> None:
+        from collections import deque
+
+        self.query_log = deque(maxlen=capacity)
+
+    def _log(self, operation: str, detail: str) -> None:
+        if self.query_log is not None:
+            self.query_log.append((operation, detail))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,6 @@
+"""Wide-column store (Cassandra stand-in): LSM write path with memtable,
+immutable SSTables, compaction, tombstones and logged batches."""
+
+from repro.databases.columnar.engine import CassandraLike, ColumnarDatabase, ColumnFamily
+
+__all__ = ["ColumnarDatabase", "CassandraLike", "ColumnFamily"]

@@ -1,0 +1,17 @@
+"""Schemaless document store (MongoDB / TokuMX / RethinkDB stand-ins)."""
+
+from repro.databases.document.engine import (
+    DocumentDatabase,
+    MongoLike,
+    RethinkDBLike,
+    TokuMXLike,
+)
+from repro.databases.document.filters import matches_filter
+
+__all__ = [
+    "DocumentDatabase",
+    "MongoLike",
+    "TokuMXLike",
+    "RethinkDBLike",
+    "matches_filter",
+]

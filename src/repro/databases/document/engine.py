@@ -1,0 +1,457 @@
+"""Document store engine and its vendor variants."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.databases.base import Database
+from repro.databases.document.filters import (
+    _deep_copy,
+    apply_update,
+    get_path,
+    matches_filter,
+    set_path,
+    _MISSING,
+)
+from repro.databases.relational.transaction import Transaction, TransactionManager
+from repro.errors import DatabaseError, DuplicateKeyError, UnsupportedOperationError
+
+Doc = Dict[str, Any]
+
+
+class _Collection:
+    """One schemaless collection with optional hash indexes on dot-paths."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.docs: Dict[int, Doc] = {}
+        self._id_seq = itertools.count(1)
+        self.indexes: Dict[str, Dict[Any, set]] = {}
+
+    def next_id(self) -> int:
+        return next(self._id_seq)
+
+    def note_external_id(self, doc_id: int) -> None:
+        if isinstance(doc_id, int):
+            current = next(self._id_seq)
+            self._id_seq = itertools.count(max(current, doc_id + 1))
+
+    def index_add(self, doc: Doc) -> None:
+        for path, table in self.indexes.items():
+            value = get_path(doc, path)
+            if value is _MISSING:
+                value = None
+            key = _index_key(value)
+            table.setdefault(key, set()).add(doc["_id"])
+
+    def index_remove(self, doc: Doc) -> None:
+        for path, table in self.indexes.items():
+            value = get_path(doc, path)
+            if value is _MISSING:
+                value = None
+            key = _index_key(value)
+            bucket = table.get(key)
+            if bucket is not None:
+                bucket.discard(doc["_id"])
+                if not bucket:
+                    del table[key]
+
+
+def _index_key(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+class DocumentDatabase(Database):
+    """MongoDB-style API: ``insert_one``, ``find``, ``update_one``...
+
+    Writes return the written document (MongoDB exposes the written rows,
+    so Synapse's cheap intercept path applies, §4.1).
+    """
+
+    engine_family = "document"
+    supports_returning = True
+    supports_transactions = False
+
+    def __init__(self, name: str, **kwargs: Any) -> None:
+        super().__init__(name, **kwargs)
+        self._collections: Dict[str, _Collection] = {}
+        self._txns = TransactionManager()
+
+    # -- collections --------------------------------------------------------
+
+    def collection(self, name: str) -> _Collection:
+        col = self._collections.get(name)
+        if col is None:
+            col = _Collection(name)
+            self._collections[name] = col
+        return col
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    def create_index(self, collection: str, path: str) -> None:
+        with self._lock:
+            col = self.collection(collection)
+            if path in col.indexes:
+                return
+            table: Dict[Any, set] = {}
+            for doc in col.docs.values():
+                value = get_path(doc, path)
+                if value is _MISSING:
+                    value = None
+                table.setdefault(_index_key(value), set()).add(doc["_id"])
+            col.indexes[path] = table
+
+    # -- writes --------------------------------------------------------------
+
+    def insert_one(self, collection: str, doc: Doc) -> Doc:
+        with self._lock:
+            self._charge_write()
+            col = self.collection(collection)
+            new_doc = _deep_copy(doc)
+            doc_id = new_doc.get("_id")
+            if doc_id is None:
+                doc_id = col.next_id()
+                new_doc["_id"] = doc_id
+            else:
+                col.note_external_id(doc_id)
+            if doc_id in col.docs:
+                raise DuplicateKeyError(f"duplicate _id {doc_id} in {collection!r}")
+            col.docs[doc_id] = new_doc
+            col.index_add(new_doc)
+            txn = self._txns.current()
+            if txn is not None:
+                txn.record_insert(collection, doc_id)
+                txn.written.append(
+                    {"table": collection, "op": "insert", "row": _deep_copy(new_doc)}
+                )
+            return _deep_copy(new_doc)
+
+    def update_one(
+        self, collection: str, query: Dict[str, Any], update: Dict[str, Any]
+    ) -> Optional[Doc]:
+        """Update the first matching document; returns the new document."""
+        with self._lock:
+            self._charge_write()
+            col = self.collection(collection)
+            for doc in self._plan(col, query):
+                new_doc = apply_update(doc, update)
+                old = col.docs[doc["_id"]]
+                col.index_remove(old)
+                col.docs[doc["_id"]] = new_doc
+                col.index_add(new_doc)
+                txn = self._txns.current()
+                if txn is not None:
+                    txn.record_replace(collection, doc["_id"], old)
+                    txn.written.append(
+                        {"table": collection, "op": "update", "row": _deep_copy(new_doc)}
+                    )
+                return _deep_copy(new_doc)
+            return None
+
+    def update_many(
+        self, collection: str, query: Dict[str, Any], update: Dict[str, Any]
+    ) -> List[Doc]:
+        """Update all matching documents; returns the new documents."""
+        with self._lock:
+            self._charge_write()
+            col = self.collection(collection)
+            out: List[Doc] = []
+            for doc in list(self._plan(col, query)):
+                new_doc = apply_update(doc, update)
+                old = col.docs[doc["_id"]]
+                col.index_remove(old)
+                col.docs[doc["_id"]] = new_doc
+                col.index_add(new_doc)
+                txn = self._txns.current()
+                if txn is not None:
+                    txn.record_replace(collection, doc["_id"], old)
+                    txn.written.append(
+                        {"table": collection, "op": "update", "row": _deep_copy(new_doc)}
+                    )
+                out.append(_deep_copy(new_doc))
+            return out
+
+    def delete_one(self, collection: str, query: Dict[str, Any]) -> Optional[Doc]:
+        with self._lock:
+            self._charge_write()
+            self.stats.deletes += 1
+            col = self.collection(collection)
+            for doc in self._plan(col, query):
+                removed = col.docs.pop(doc["_id"])
+                col.index_remove(removed)
+                txn = self._txns.current()
+                if txn is not None:
+                    txn.record_delete(collection, removed)
+                    txn.written.append(
+                        {"table": collection, "op": "delete", "row": _deep_copy(removed)}
+                    )
+                return _deep_copy(removed)
+            return None
+
+    def delete_many(self, collection: str, query: Dict[str, Any]) -> List[Doc]:
+        with self._lock:
+            self._charge_write()
+            self.stats.deletes += 1
+            col = self.collection(collection)
+            out: List[Doc] = []
+            for doc in list(self._plan(col, query)):
+                removed = col.docs.pop(doc["_id"])
+                col.index_remove(removed)
+                txn = self._txns.current()
+                if txn is not None:
+                    txn.record_delete(collection, removed)
+                    txn.written.append(
+                        {"table": collection, "op": "delete", "row": _deep_copy(removed)}
+                    )
+                out.append(_deep_copy(removed))
+            return out
+
+    # -- reads ---------------------------------------------------------------
+
+    def find(
+        self,
+        collection: str,
+        query: Optional[Dict[str, Any]] = None,
+        sort: Optional[Tuple[str, int]] = None,
+        limit: Optional[int] = None,
+        projection: Optional[List[str]] = None,
+    ) -> List[Doc]:
+        with self._lock:
+            self._charge_read()
+            col = self.collection(collection)
+            docs = [_deep_copy(d) for d in self._plan(col, query or {})]
+        if sort is not None:
+            path, direction = sort
+            docs.sort(
+                key=lambda d: _sort_key(get_path(d, path)),
+                reverse=(direction < 0),
+            )
+        else:
+            docs.sort(key=lambda d: d["_id"])
+        if limit is not None:
+            docs = docs[:limit]
+        if projection is not None:
+            keep = set(projection) | {"_id"}
+            docs = [{k: v for k, v in d.items() if k in keep} for d in docs]
+        return docs
+
+    def find_one(
+        self, collection: str, query: Optional[Dict[str, Any]] = None
+    ) -> Optional[Doc]:
+        docs = self.find(collection, query, limit=1)
+        return docs[0] if docs else None
+
+    def get(self, collection: str, doc_id: Any) -> Optional[Doc]:
+        with self._lock:
+            self._charge_read()
+            self.stats.index_lookups += 1
+            doc = self.collection(collection).docs.get(doc_id)
+            return _deep_copy(doc) if doc is not None else None
+
+    def count(self, collection: str, query: Optional[Dict[str, Any]] = None) -> int:
+        with self._lock:
+            self._charge_read()
+            col = self.collection(collection)
+            return sum(1 for _ in self._plan(col, query or {}))
+
+    def distinct(
+        self, collection: str, path: str, query: Optional[Dict[str, Any]] = None
+    ) -> List[Any]:
+        """Distinct values of a (dot-)path; array values contribute each
+        element (MongoDB semantics)."""
+        values = set()
+        for doc in self.find(collection, query, limit=None):
+            value = get_path(doc, path)
+            if value is _MISSING:
+                continue
+            if isinstance(value, list):
+                values.update(value)
+            else:
+                values.add(value)
+        return sorted(values, key=lambda v: (str(type(v)), str(v)))
+
+    def aggregate(
+        self, collection: str, pipeline: List[Dict[str, Any]]
+    ) -> List[Doc]:
+        """A subset of the MongoDB aggregation pipeline:
+        ``$match``, ``$group`` (``$sum``/``$avg``/``$min``/``$max``,
+        numeric literal 1 for counting), ``$sort``, ``$limit``,
+        ``$unwind``."""
+        docs = self.find(collection, limit=None)
+        for stage in pipeline:
+            if len(stage) != 1:
+                raise DatabaseError("each pipeline stage has exactly one key")
+            op, spec = next(iter(stage.items()))
+            if op == "$match":
+                docs = [d for d in docs if matches_filter(d, spec)]
+            elif op == "$unwind":
+                path = spec.lstrip("$")
+                unwound = []
+                for doc in docs:
+                    value = get_path(doc, path)
+                    if isinstance(value, list):
+                        for element in value:
+                            clone = _deep_copy(doc)
+                            set_path(clone, path, element)
+                            unwound.append(clone)
+                docs = unwound
+            elif op == "$group":
+                docs = _group_stage(docs, spec)
+            elif op == "$sort":
+                for path, direction in reversed(list(spec.items())):
+                    docs.sort(
+                        key=lambda d, p=path: _sort_key(get_path(d, p)),
+                        reverse=(direction < 0),
+                    )
+            elif op == "$limit":
+                docs = docs[:spec]
+            else:
+                raise DatabaseError(f"unsupported pipeline stage {op!r}")
+        return docs
+
+    # -- planner ---------------------------------------------------------------
+
+    def _plan(self, col: _Collection, query: Dict[str, Any]) -> Iterable[Doc]:
+        if "_id" in query and not isinstance(query["_id"], dict):
+            self.stats.index_lookups += 1
+            doc = col.docs.get(query["_id"])
+            if doc is not None and matches_filter(doc, query):
+                yield doc
+            return
+        for path, condition in query.items():
+            if path in col.indexes and not isinstance(condition, (dict, list)):
+                self.stats.index_lookups += 1
+                for doc_id in list(col.indexes[path].get(_index_key(condition), ())):
+                    doc = col.docs.get(doc_id)
+                    if doc is not None and matches_filter(doc, query):
+                        yield doc
+                return
+        self.stats.scans += 1
+        for doc_id in list(col.docs):
+            doc = col.docs.get(doc_id)
+            if doc is not None and matches_filter(doc, query):
+                yield doc
+
+    # -- transactions (TokuMX-like variants) -----------------------------------
+
+    def begin(self) -> Transaction:
+        if not self.supports_transactions:
+            raise UnsupportedOperationError(
+                f"{self.engine_family} does not support transactions"
+            )
+        self.stats.transactions += 1
+        return self._txns.begin(self)
+
+    def current_transaction(self) -> Optional[Transaction]:
+        return self._txns.current()
+
+    def _finish_transaction(self, txn: Transaction) -> None:
+        self._txns.finish(txn)
+
+    def _undo_insert(self, collection: str, doc_id: Any) -> None:
+        with self._lock:
+            col = self.collection(collection)
+            doc = col.docs.pop(doc_id, None)
+            if doc is not None:
+                col.index_remove(doc)
+
+    def _undo_replace(self, collection: str, doc_id: Any, old_doc: Doc) -> None:
+        with self._lock:
+            col = self.collection(collection)
+            current = col.docs.get(doc_id)
+            if current is not None:
+                col.index_remove(current)
+            col.docs[doc_id] = _deep_copy(old_doc)
+            col.index_add(col.docs[doc_id])
+
+    def _undo_delete(self, collection: str, old_doc: Doc) -> None:
+        with self._lock:
+            col = self.collection(collection)
+            col.docs[old_doc["_id"]] = _deep_copy(old_doc)
+            col.index_add(col.docs[old_doc["_id"]])
+
+
+def _group_stage(docs: List[Doc], spec: Dict[str, Any]) -> List[Doc]:
+    """The $group stage: _id expression plus accumulator fields."""
+    id_expr = spec.get("_id")
+    groups: Dict[Any, List[Doc]] = {}
+    order: List[Any] = []
+    for doc in docs:
+        if isinstance(id_expr, str) and id_expr.startswith("$"):
+            key = get_path(doc, id_expr[1:])
+            key = None if key is _MISSING else key
+        else:
+            key = id_expr
+        hashable = tuple(key) if isinstance(key, list) else key
+        if hashable not in groups:
+            groups[hashable] = []
+            order.append((hashable, key))
+        groups[hashable].append(doc)
+    out: List[Doc] = []
+    for hashable, key in order:
+        bucket = groups[hashable]
+        result: Doc = {"_id": key}
+        for field, accumulator in spec.items():
+            if field == "_id":
+                continue
+            op, operand = next(iter(accumulator.items()))
+            if isinstance(operand, str) and operand.startswith("$"):
+                values = [
+                    v for v in (get_path(d, operand[1:]) for d in bucket)
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                ]
+            else:
+                values = [operand] * len(bucket)
+            if op == "$sum":
+                result[field] = sum(values)
+            elif op == "$avg":
+                result[field] = sum(values) / len(values) if values else None
+            elif op == "$min":
+                result[field] = min(values) if values else None
+            elif op == "$max":
+                result[field] = max(values) if values else None
+            else:
+                raise DatabaseError(f"unsupported accumulator {op!r}")
+        out.append(result)
+    return out
+
+
+def _sort_key(value: Any) -> Tuple[int, Any]:
+    if value is _MISSING or value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))
+
+
+class MongoLike(DocumentDatabase):
+    """MongoDB stand-in: schemaless, no multi-document transactions."""
+
+    engine_family = "mongodb"
+
+
+class TokuMXLike(DocumentDatabase):
+    """TokuMX stand-in: MongoDB API *with* multi-document transactions,
+    which is why Crowdtap migrated to it (§6.5)."""
+
+    engine_family = "tokumx"
+    supports_transactions = True
+
+
+class RethinkDBLike(DocumentDatabase):
+    """RethinkDB stand-in: document model with changefeed-friendly writes."""
+
+    engine_family = "rethinkdb"

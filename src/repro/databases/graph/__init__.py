@@ -1,0 +1,6 @@
+"""Graph store (Neo4j stand-in): labelled property nodes/edges plus
+traversal queries used by recommendation engines (Example 2, §3.3)."""
+
+from repro.databases.graph.engine import GraphDatabase, Neo4jLike
+
+__all__ = ["GraphDatabase", "Neo4jLike"]

@@ -1,0 +1,5 @@
+"""Redis stand-in used for Synapse version stores (§4.2)."""
+
+from repro.databases.kv.redis import RedisLike
+
+__all__ = ["RedisLike"]

@@ -1,0 +1,262 @@
+"""WHERE-clause expression trees.
+
+``Col("age") >= 21`` builds an expression the planner can both evaluate
+against a row and introspect for index-equality candidates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Expression:
+    """Base predicate over a row (``dict`` of column -> value)."""
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def equality_candidates(self) -> List[Tuple[str, Any]]:
+        """(column, value) pairs usable for index point-lookups.
+
+        Only conjunctive top-level equalities qualify: the planner may use
+        any one of them to narrow the scan, then re-check the full predicate.
+        """
+        return []
+
+    def columns(self) -> Iterable[str]:
+        """Every column referenced anywhere in the predicate."""
+        return []
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return And(self, other)
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+class Always(Expression):
+    """Matches every row; the default WHERE clause."""
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "ALWAYS"
+
+
+ALWAYS = Always()
+
+
+class _Comparison(Expression):
+    op = "?"
+
+    def __init__(self, column: str, value: Any) -> None:
+        self.column = column
+        self.value = value
+
+    def columns(self) -> Iterable[str]:
+        return [self.column]
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+def _comparable(row_value: Any, target: Any) -> bool:
+    """Guard mixed-type comparisons that Python 3 would raise on."""
+    if row_value is None or target is None:
+        return False
+    if isinstance(row_value, (int, float)) and isinstance(target, (int, float)):
+        return True
+    return type(row_value) is type(target)
+
+
+class Eq(_Comparison):
+    op = "="
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) == self.value
+
+    def equality_candidates(self) -> List[Tuple[str, Any]]:
+        return [(self.column, self.value)]
+
+
+class Ne(_Comparison):
+    op = "!="
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) != self.value
+
+
+class Lt(_Comparison):
+    op = "<"
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        v = row.get(self.column)
+        return _comparable(v, self.value) and v < self.value
+
+
+class Le(_Comparison):
+    op = "<="
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        v = row.get(self.column)
+        return _comparable(v, self.value) and v <= self.value
+
+
+class Gt(_Comparison):
+    op = ">"
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        v = row.get(self.column)
+        return _comparable(v, self.value) and v > self.value
+
+
+class Ge(_Comparison):
+    op = ">="
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        v = row.get(self.column)
+        return _comparable(v, self.value) and v >= self.value
+
+
+class In(_Comparison):
+    op = "IN"
+
+    def __init__(self, column: str, value: Iterable[Any]) -> None:
+        super().__init__(column, tuple(value))
+        self._set = set(self.value)
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) in self._set
+
+
+class Like(_Comparison):
+    """SQL LIKE with ``%`` and ``_`` wildcards."""
+
+    op = "LIKE"
+
+    def __init__(self, column: str, value: str) -> None:
+        super().__init__(column, value)
+        # re.escape leaves % and _ untouched (they are not regex-special).
+        pattern = re.escape(value).replace("%", ".*").replace("_", ".")
+        self._regex = re.compile(f"^{pattern}$", re.IGNORECASE)
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        v = row.get(self.column)
+        return isinstance(v, str) and bool(self._regex.match(v))
+
+
+class IsNull(Expression):
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) is None
+
+    def columns(self) -> Iterable[str]:
+        return [self.column]
+
+
+class And(Expression):
+    def __init__(self, *parts: Expression) -> None:
+        self.parts = parts
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return all(p.matches(row) for p in self.parts)
+
+    def equality_candidates(self) -> List[Tuple[str, Any]]:
+        out: List[Tuple[str, Any]] = []
+        for p in self.parts:
+            out.extend(p.equality_candidates())
+        return out
+
+    def columns(self) -> Iterable[str]:
+        for p in self.parts:
+            yield from p.columns()
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Expression):
+    def __init__(self, *parts: Expression) -> None:
+        self.parts = parts
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return any(p.matches(row) for p in self.parts)
+
+    def columns(self) -> Iterable[str]:
+        for p in self.parts:
+            yield from p.columns()
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Expression):
+    def __init__(self, inner: Expression) -> None:
+        self.inner = inner
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return not self.inner.matches(row)
+
+    def columns(self) -> Iterable[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+class Col:
+    """Column reference with operator overloading: ``Col('age') > 3``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, other: Any) -> Expression:  # type: ignore[override]
+        return Eq(self.name, other)
+
+    def __ne__(self, other: Any) -> Expression:  # type: ignore[override]
+        return Ne(self.name, other)
+
+    def __lt__(self, other: Any) -> Expression:
+        return Lt(self.name, other)
+
+    def __le__(self, other: Any) -> Expression:
+        return Le(self.name, other)
+
+    def __gt__(self, other: Any) -> Expression:
+        return Gt(self.name, other)
+
+    def __ge__(self, other: Any) -> Expression:
+        return Ge(self.name, other)
+
+    def in_(self, values: Iterable[Any]) -> Expression:
+        return In(self.name, values)
+
+    def like(self, pattern: str) -> Expression:
+        return Like(self.name, pattern)
+
+    def is_null(self) -> Expression:
+        return IsNull(self.name)
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def where_from_dict(conditions: Optional[Dict[str, Any]]) -> Expression:
+    """Build a conjunction of equalities from a mapping (Mongo-ish sugar)."""
+    if not conditions:
+        return ALWAYS
+    parts: List[Expression] = []
+    for column, value in conditions.items():
+        if isinstance(value, (list, tuple, set)):
+            parts.append(In(column, value))
+        else:
+            parts.append(Eq(column, value))
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)

@@ -1,0 +1,138 @@
+"""Table schemas, columns and index declarations."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.databases.relational.types import ColumnType, Integer
+from repro.errors import SchemaError, TypeMismatchError, UnknownColumnError
+
+
+class Column:
+    """A typed column declaration.
+
+    ``default`` may be a value or a zero-argument callable evaluated per row.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        column_type: ColumnType,
+        nullable: bool = True,
+        default: Any = None,
+        unique: bool = False,
+    ) -> None:
+        self.name = name
+        self.type = column_type
+        self.nullable = nullable
+        self.default = default
+        self.unique = unique
+
+    def default_value(self) -> Any:
+        if callable(self.default):
+            return self.default()
+        return self.default
+
+    def __repr__(self) -> str:
+        return f"<Column {self.name} {self.type.name}>"
+
+
+class Index:
+    """Secondary index over one or more columns."""
+
+    def __init__(self, name: str, columns: Sequence[str], unique: bool = False) -> None:
+        if not columns:
+            raise SchemaError("index needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self.unique = unique
+
+    def key_for(self, row: Dict[str, Any]) -> tuple:
+        return tuple(row.get(c) for c in self.columns)
+
+    def __repr__(self) -> str:
+        return f"<Index {self.name} on {self.columns}>"
+
+
+PRIMARY_KEY = "id"
+
+
+class TableSchema:
+    """Schema of one table. The primary key is always ``id`` (integer),
+    auto-assigned when absent — matching ActiveRecord conventions the
+    paper's ORMs rely on for object identity.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        indexes: Optional[Sequence[Index]] = None,
+    ) -> None:
+        self.name = name
+        self.columns: Dict[str, Column] = {}
+        if PRIMARY_KEY not in [c.name for c in columns]:
+            self.columns[PRIMARY_KEY] = Column(PRIMARY_KEY, Integer(), nullable=False)
+        for col in columns:
+            if col.name in self.columns:
+                raise SchemaError(f"duplicate column {col.name!r} in {name!r}")
+            self.columns[col.name] = col
+        self.indexes: Dict[str, Index] = {}
+        for idx in indexes or []:
+            self.add_index(idx)
+
+    # -- schema evolution (live migrations, §4.3) --------------------------
+
+    def add_column(self, column: Column) -> None:
+        if column.name in self.columns:
+            raise SchemaError(f"column {column.name!r} already exists")
+        self.columns[column.name] = column
+
+    def drop_column(self, name: str) -> None:
+        if name == PRIMARY_KEY:
+            raise SchemaError("cannot drop the primary key")
+        if name not in self.columns:
+            raise UnknownColumnError(f"no column {name!r} in {self.name!r}")
+        del self.columns[name]
+        for idx_name in [n for n, i in self.indexes.items() if name in i.columns]:
+            del self.indexes[idx_name]
+
+    def add_index(self, index: Index) -> None:
+        for col in index.columns:
+            if col not in self.columns:
+                raise UnknownColumnError(
+                    f"index {index.name!r} references unknown column {col!r}"
+                )
+        if index.name in self.indexes:
+            raise SchemaError(f"duplicate index {index.name!r}")
+        self.indexes[index.name] = index
+
+    # -- row validation ----------------------------------------------------
+
+    def normalise(self, values: Dict[str, Any], partial: bool = False) -> Dict[str, Any]:
+        """Validate types, apply defaults, reject unknown columns.
+
+        With ``partial=True`` (UPDATE) only supplied columns are touched.
+        """
+        for key in values:
+            if key not in self.columns:
+                raise UnknownColumnError(f"no column {key!r} in table {self.name!r}")
+        out: Dict[str, Any] = {}
+        if partial:
+            items = [(k, self.columns[k]) for k in values]
+        else:
+            items = list(self.columns.items())
+        for name, col in items:
+            if name in values:
+                out[name] = col.type.validate(values[name], name)
+            elif not partial:
+                out[name] = col.type.validate(col.default_value(), name)
+            if name != PRIMARY_KEY and not col.nullable and out.get(name) is None:
+                if not partial or name in values:
+                    raise TypeMismatchError(
+                        f"column {name!r} in {self.name!r} is NOT NULL"
+                    )
+        return out
+
+    def __repr__(self) -> str:
+        return f"<TableSchema {self.name} cols={list(self.columns)}>"

@@ -1,0 +1,107 @@
+"""Column types for the relational engine.
+
+Each type validates and coerces Python values on write, mirroring the
+strictness gap between relational engines and the schemaless stores: the
+document engine accepts arbitrary JSON-like values, the relational engine
+rejects anything that does not fit the declared column type.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class ColumnType:
+    """Base column type; subclasses override :meth:`coerce`."""
+
+    name = "any"
+
+    def coerce(self, value: Any) -> Any:
+        return value
+
+    def validate(self, value: Any, column: str) -> Any:
+        if value is None:
+            return None
+        try:
+            return self.coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeMismatchError(
+                f"column {column!r} ({self.name}): bad value {value!r}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class Integer(ColumnType):
+    name = "integer"
+
+    def coerce(self, value: Any) -> int:
+        if isinstance(value, bool):
+            raise TypeError("bool is not an integer")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, str) and value.strip().lstrip("+-").isdigit():
+            return int(value)
+        raise TypeError(f"not an integer: {value!r}")
+
+
+class Float(ColumnType):
+    name = "float"
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TypeError("bool is not a float")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeError(f"not a float: {value!r}")
+
+
+class Text(ColumnType):
+    name = "text"
+
+    def coerce(self, value: Any) -> str:
+        if isinstance(value, str):
+            return value
+        raise TypeError(f"not text: {value!r}")
+
+
+class Boolean(ColumnType):
+    name = "boolean"
+
+    def coerce(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        raise TypeError(f"not a boolean: {value!r}")
+
+
+class Json(ColumnType):
+    """JSON-serialisable blob. Used e.g. to flatten arrays (Example 3)."""
+
+    name = "json"
+
+    def coerce(self, value: Any) -> Any:
+        json.dumps(value)  # raises TypeError when unserialisable
+        return value
+
+
+class Timestamp(ColumnType):
+    """Seconds-since-epoch stored as float."""
+
+    name = "timestamp"
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TypeError("bool is not a timestamp")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeError(f"not a timestamp: {value!r}")

@@ -1,0 +1,18 @@
+"""Search engine (Elasticsearch stand-in): analyzers, inverted index,
+TF-IDF scored queries and aggregations."""
+
+from repro.databases.search.analysis import ANALYZERS, analyze
+from repro.databases.search.engine import ElasticsearchLike, SearchDatabase
+from repro.databases.search.query import Bool, Match, MatchAll, Range, Term
+
+__all__ = [
+    "SearchDatabase",
+    "ElasticsearchLike",
+    "Term",
+    "Match",
+    "MatchAll",
+    "Bool",
+    "Range",
+    "analyze",
+    "ANALYZERS",
+]

@@ -1,0 +1,60 @@
+"""Aggregations over search hits (Elasticsearch-style analytics, §1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def terms_aggregation(
+    docs: Iterable[Dict[str, Any]], field: str, size: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Bucket counts per distinct value; list fields count each element."""
+    counter: Counter = Counter()
+    for doc in docs:
+        value = doc.get(field)
+        if isinstance(value, list):
+            counter.update(value)
+        elif value is not None:
+            counter[value] += 1
+    buckets = [
+        {"key": key, "doc_count": count}
+        for key, count in counter.most_common(size)
+    ]
+    return buckets
+
+
+def stats_aggregation(docs: Iterable[Dict[str, Any]], field: str) -> Dict[str, Any]:
+    """min/max/avg/sum/count of a numeric field."""
+    values = [
+        doc[field]
+        for doc in docs
+        if isinstance(doc.get(field), (int, float))
+        and not isinstance(doc.get(field), bool)
+    ]
+    if not values:
+        return {"count": 0, "min": None, "max": None, "avg": None, "sum": 0}
+    return {
+        "count": len(values),
+        "min": min(values),
+        "max": max(values),
+        "avg": sum(values) / len(values),
+        "sum": sum(values),
+    }
+
+
+def histogram_aggregation(
+    docs: Iterable[Dict[str, Any]], field: str, interval: float
+) -> List[Dict[str, Any]]:
+    """Fixed-interval histogram buckets keyed by bucket lower bound."""
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    counter: Counter = Counter()
+    for doc in docs:
+        value = doc.get(field)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            bucket = int(value // interval) * interval
+            counter[bucket] += 1
+    return [
+        {"key": key, "doc_count": counter[key]} for key in sorted(counter)
+    ]

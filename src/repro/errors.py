@@ -1,0 +1,120 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch a single base class at service boundaries while tests can assert on
+precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Database engine errors
+# --------------------------------------------------------------------------
+
+class DatabaseError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class SchemaError(DatabaseError):
+    """A table/collection/index definition is invalid or missing."""
+
+
+class UnknownTableError(SchemaError):
+    """Operation referenced a table that does not exist."""
+
+
+class UnknownColumnError(SchemaError):
+    """Operation referenced a column that does not exist."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """A uniqueness constraint (primary key / unique index) was violated."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value does not conform to the declared column type."""
+
+
+class TransactionError(DatabaseError):
+    """Transaction lifecycle misuse (double commit, write outside txn, ...)."""
+
+
+class UnsupportedOperationError(DatabaseError):
+    """The engine does not support the requested operation."""
+
+
+class FaultInjected(DatabaseError):
+    """Raised by fault-injection hooks to simulate component failure."""
+
+
+# --------------------------------------------------------------------------
+# ORM errors
+# --------------------------------------------------------------------------
+
+class ORMError(ReproError):
+    """Base class for ORM-layer failures."""
+
+
+class RecordNotFound(ORMError):
+    """``find`` could not locate a record by primary key."""
+
+
+class ValidationError(ORMError):
+    """A model-level validation rejected the record."""
+
+
+class ReadOnlyAttributeError(ORMError):
+    """Attempted write to an attribute owned by another service."""
+
+
+# --------------------------------------------------------------------------
+# Broker errors
+# --------------------------------------------------------------------------
+
+class BrokerError(ReproError):
+    """Base class for message-broker failures."""
+
+
+class QueueDecommissioned(BrokerError):
+    """The subscriber queue exceeded its limit and was killed (§4.4)."""
+
+
+class MessageLost(BrokerError):
+    """Fault injection dropped a message in transit (§6.5)."""
+
+
+# --------------------------------------------------------------------------
+# Synapse core errors
+# --------------------------------------------------------------------------
+
+class SynapseError(ReproError):
+    """Base class for Synapse publish/subscribe failures."""
+
+
+class PublicationError(SynapseError):
+    """Invalid publisher declaration or publish-time failure."""
+
+
+class SubscriptionError(SynapseError):
+    """Invalid subscriber declaration (e.g. unpublished attribute, §4.5)."""
+
+
+class DecoratorViolation(SynapseError):
+    """A decorator broke one of its three restrictions (§3.1)."""
+
+
+class DeliveryModeError(SynapseError):
+    """Subscriber requested stronger semantics than its publisher offers."""
+
+
+class DependencyDeadlock(SynapseError):
+    """A subscriber waited past its timeout for a missing dependency."""
+
+
+class MigrationError(SynapseError):
+    """A live schema migration rule of §4.3 was violated."""

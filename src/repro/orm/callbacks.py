@@ -1,0 +1,75 @@
+"""Active-model callbacks (§2, §3.1).
+
+Decorate instance methods to run them around persistence operations::
+
+    class User(Model):
+        email = Field(str)
+
+        @after_create
+        def send_welcome(self):
+            ...
+
+Subscribers rely on these callbacks to post-process replicated updates
+(compute fields, denormalise, notify) — Fig 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+HOOK_ATTR = "_repro_callback_hooks"
+
+EVENTS = (
+    "before_create",
+    "after_create",
+    "before_update",
+    "after_update",
+    "before_destroy",
+    "after_destroy",
+    "before_save",
+    "after_save",
+)
+
+
+def _make_decorator(event: str) -> Callable[[Callable], Callable]:
+    def decorator(fn: Callable) -> Callable:
+        hooks = list(getattr(fn, HOOK_ATTR, ()))
+        hooks.append(event)
+        setattr(fn, HOOK_ATTR, hooks)
+        return fn
+
+    decorator.__name__ = event
+    return decorator
+
+
+before_create = _make_decorator("before_create")
+after_create = _make_decorator("after_create")
+before_update = _make_decorator("before_update")
+after_update = _make_decorator("after_update")
+before_destroy = _make_decorator("before_destroy")
+after_destroy = _make_decorator("after_destroy")
+before_save = _make_decorator("before_save")
+after_save = _make_decorator("after_save")
+
+
+def collect_callbacks(namespace: Dict[str, Any], bases: Tuple[type, ...]) -> Dict[str, List[str]]:
+    """Gather callback method names per event, inheriting from bases."""
+    table: Dict[str, List[str]] = {event: [] for event in EVENTS}
+    for base in reversed(bases):
+        inherited = getattr(base, "_callbacks", None)
+        if inherited:
+            for event, names in inherited.items():
+                for name in names:
+                    if name not in table[event]:
+                        table[event].append(name)
+    for name, value in namespace.items():
+        for event in getattr(value, HOOK_ATTR, ()):
+            if name not in table[event]:
+                table[event].append(name)
+    return table
+
+
+def run_callbacks(instance: Any, event: str) -> None:
+    """Invoke every callback registered for ``event`` on the instance."""
+    for name in instance._callbacks.get(event, ()):
+        getattr(instance, name)()

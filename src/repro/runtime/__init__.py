@@ -1,0 +1,6 @@
+"""Execution/measurement runtime: metrics, threaded worker pools and the
+discrete-event simulator used for the scaling experiments."""
+
+from repro.runtime.metrics import Histogram, ThroughputMeter, Timer
+
+__all__ = ["Histogram", "Timer", "ThroughputMeter"]

@@ -1,0 +1,116 @@
+"""Lightweight measurement primitives used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+from repro.clock import Clock, DEFAULT_CLOCK
+
+
+class Histogram:
+    """Collects samples; reports mean/percentiles.
+
+    Percentiles use the nearest-rank method, adequate for the
+    mean/99th-percentile tables of Fig 12(a).
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+
+    def extend(self, values: List[float]) -> None:
+        with self._lock:
+            self._samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def mean(self) -> float:
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+            return ordered[rank - 1]
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+
+class Timer:
+    """``with Timer(histogram):`` records elapsed seconds."""
+
+    def __init__(self, histogram: Histogram, clock: Optional[Clock] = None) -> None:
+        self.histogram = histogram
+        self.clock = clock or DEFAULT_CLOCK
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self.clock.monotonic() - self._start
+        self.histogram.record(self.elapsed)
+
+
+class ThroughputMeter:
+    """Counts events over a wall-clock (or virtual) window."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock or DEFAULT_CLOCK
+        self._count = 0
+        self._lock = threading.Lock()
+        self._started: Optional[float] = None
+        self._stopped: Optional[float] = None
+
+    def start(self) -> None:
+        self._started = self.clock.monotonic()
+
+    def mark(self, count: int = 1) -> None:
+        with self._lock:
+            self._count += count
+
+    def stop(self) -> None:
+        self._stopped = self.clock.monotonic()
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def per_second(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else self.clock.monotonic()
+        elapsed = end - self._started
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed

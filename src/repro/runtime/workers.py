@@ -1,0 +1,180 @@
+"""Threaded subscriber worker pools.
+
+"Messages in the queue are processed in parallel by multiple subscriber
+workers per application" (§4). Each worker pops a message, waits (up to
+a timeout) for its dependencies, applies it and acks. A message that
+exceeds the retry budget triggers the deadlock callback — production
+Synapse rebootstraps the subscriber at that point (§6.5).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.errors import QueueDecommissioned
+
+
+class WorkerFleet:
+    """One pool per subscribing service of an ecosystem.
+
+    ::
+
+        with WorkerFleet(eco, workers=4) as fleet:
+            ...publish...
+            fleet.wait_until_idle()
+    """
+
+    def __init__(self, ecosystem: Any, workers: int = 4, **pool_kwargs: Any) -> None:
+        self.pools: List["SubscriberWorkerPool"] = [
+            SubscriberWorkerPool(service, workers=workers, **pool_kwargs)
+            for service in ecosystem.services.values()
+            if service.subscriber.queue is not None
+        ]
+
+    def start(self) -> "WorkerFleet":
+        for pool in self.pools:
+            pool.start()
+        return self
+
+    def stop(self) -> None:
+        for pool in self.pools:
+            pool.stop()
+
+    def wait_until_idle(self, timeout: float = 30.0, settle_rounds: int = 3) -> bool:
+        """Idle only counts when every pool is simultaneously drained for
+        ``settle_rounds`` consecutive checks (decorator cascades bounce
+        messages between services)."""
+        for _ in range(settle_rounds):
+            for pool in self.pools:
+                if not pool.wait_until_idle(timeout=timeout):
+                    return False
+        return True
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class SubscriberWorkerPool:
+    """N threads draining one subscriber's queue concurrently."""
+
+    def __init__(
+        self,
+        service: Any,
+        workers: int = 4,
+        wait_timeout: float = 0.2,
+        max_deliveries: int = 20,
+        on_deadlock: Optional[Callable[[Any], None]] = None,
+        give_up_action: str = "drop",
+    ) -> None:
+        if give_up_action not in ("drop", "apply"):
+            raise ValueError("give_up_action must be 'drop' or 'apply'")
+        self.service = service
+        self.workers = workers
+        self.wait_timeout = wait_timeout
+        self.max_deliveries = max_deliveries
+        self.on_deadlock = on_deadlock
+        #: What to do with a message whose dependencies never arrive:
+        #: "drop" it, or "apply" it with weak semantics (§6.5's
+        #: configurable give-up timeout).
+        self.give_up_action = give_up_action
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self.deadlocked_messages = 0
+        #: Messages whose apply raised (DB fault, bad payload): they are
+        #: nacked and retried until the delivery budget runs out.
+        self.apply_errors = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SubscriberWorkerPool":
+        self._stop.clear()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, name=f"{self.service.name}-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "SubscriberWorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- main loop ---------------------------------------------------------------
+
+    def _run(self) -> None:
+        subscriber = self.service.subscriber
+        queue = subscriber.queue
+        if queue is None:
+            return
+        while not self._stop.is_set():
+            try:
+                message = queue.pop(timeout=0.05)
+            except QueueDecommissioned:
+                if self.on_deadlock is not None:
+                    self.on_deadlock(self.service)
+                return
+            if message is None:
+                continue
+            with self._active_lock:
+                self._active += 1
+            try:
+                try:
+                    done = subscriber.process_message(
+                        message, wait_timeout=self.wait_timeout
+                    )
+                except Exception:
+                    # A transient engine fault (or poisonous payload) must
+                    # not kill the worker: nack and let redelivery retry.
+                    self.apply_errors += 1
+                    done = False
+                if done:
+                    queue.ack(message)
+                elif message.delivery_count >= self.max_deliveries:
+                    # Give-up timeout reached (§6.5).
+                    if self.give_up_action == "apply":
+                        subscriber.force_apply(message)
+                    queue.ack(message)
+                    self.deadlocked_messages += 1
+                    if self.on_deadlock is not None:
+                        self.on_deadlock(self.service)
+                else:
+                    queue.nack(message)
+            finally:
+                with self._active_lock:
+                    self._active -= 1
+
+    # -- synchronisation -----------------------------------------------------------
+
+    def wait_until_idle(self, timeout: float = 10.0) -> bool:
+        """Block until the queue is drained and no worker is mid-message."""
+        import time
+
+        queue = self.service.subscriber.queue
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._active_lock:
+                active = self._active
+            drained = (
+                queue is None
+                or (len(queue) == 0 and queue.unacked_count == 0)
+            )
+            if drained and active == 0:
+                return True
+            time.sleep(0.005)
+        return False

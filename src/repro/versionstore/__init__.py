@@ -1,0 +1,23 @@
+"""Version stores implementing the dependency-tracking algorithm of §4.2.
+
+The publisher keeps two counters per dependency (``ops`` and ``version``)
+and the subscriber one (``ops``). Stores run on Redis-like shards behind
+a Dynamo-style consistent-hash ring, with an optional fixed-size
+dependency hash space giving O(1) memory.
+"""
+
+from repro.versionstore.hashring import HashRing
+from repro.versionstore.store import (
+    DependencyHasher,
+    PublisherVersionStore,
+    ShardedKV,
+    SubscriberVersionStore,
+)
+
+__all__ = [
+    "HashRing",
+    "ShardedKV",
+    "DependencyHasher",
+    "PublisherVersionStore",
+    "SubscriberVersionStore",
+]

@@ -1,0 +1,277 @@
+"""Publisher and subscriber version stores (§4.2).
+
+Publisher side, per dependency: two counters, ``ops`` (operations that
+referenced the object) and ``version`` (set to ``ops`` on writes). For
+each operation the publisher, holding locks on its write dependencies,
+bumps the counters and emits ``version`` for read dependencies and
+``version - 1`` for write dependencies (the exact Fig 8 arithmetic).
+
+Subscriber side, per dependency: a single ``ops`` counter. A message is
+processable once every dependency's stored counter is >= the version in
+the message; after processing, the counter of every (non-external)
+dependency is incremented.
+
+All counter updates run as atomic scripts on Redis-like shards behind a
+consistent-hash ring. Dependency names can be hashed into a fixed space
+for O(1) memory — a 1-entry space degenerates to global ordering, the
+ablation the paper points out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.databases.kv import RedisLike
+from repro.versionstore.hashring import HashRing, stable_hash
+
+
+class DependencyHasher:
+    """Maps full dependency names to version-store keys.
+
+    ``space=None`` keeps names verbatim; an integer folds them into that
+    many buckets (collisions serialise unrelated objects, trading
+    parallelism for memory, §4.2).
+    """
+
+    def __init__(self, space: Optional[int] = None) -> None:
+        if space is not None and space < 1:
+            raise ValueError("hash space must be >= 1")
+        self.space = space
+
+    def hash(self, dep: str) -> str:
+        if self.space is None:
+            return dep
+        return f"d{stable_hash(dep) % self.space}"
+
+
+class ShardedKV:
+    """Routes keys across Redis-like shards via a consistent-hash ring."""
+
+    def __init__(self, shards: List[RedisLike], vnodes: int = 64) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = list(shards)
+        self._ring = HashRing(self.shards, vnodes=vnodes)
+
+    def shard_for(self, key: str) -> RedisLike:
+        return self._ring.node_for(key)
+
+    def hget(self, key: str, field: str) -> Any:
+        return self.shard_for(key).hget(key, field)
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self.shard_for(key).hset(key, field, value)
+
+    def eval_on(self, key: str, script) -> Any:
+        return self.shard_for(key).eval(script)
+
+    def entries(self, prefix: str = "") -> Dict[str, Dict[str, Any]]:
+        """All hashes under ``prefix`` across every shard (bootstrap bulk
+        transfer, §4.4)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for shard in self.shards:
+            for key in shard.keys(prefix):
+                out[key] = shard.hgetall(key)
+        return out
+
+    def flushall(self) -> None:
+        for shard in self.shards:
+            shard.flushall()
+
+    @property
+    def any_down(self) -> bool:
+        return any(shard.is_down for shard in self.shards)
+
+    def total_keys(self) -> int:
+        return sum(shard.dbsize() for shard in self.shards)
+
+
+class _LockTable:
+    """Per-dependency locks, acquired in sorted order (deadlock-free)."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, threading.Lock] = {}
+        self._guard = threading.Lock()
+
+    def _lock_for(self, dep: str) -> threading.Lock:
+        with self._guard:
+            lock = self._locks.get(dep)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[dep] = lock
+            return lock
+
+    def acquire(self, deps: Iterable[str]) -> List[threading.Lock]:
+        held = []
+        for dep in sorted(set(deps)):
+            lock = self._lock_for(dep)
+            lock.acquire()
+            held.append(lock)
+        return held
+
+    @staticmethod
+    def release(held: List[threading.Lock]) -> None:
+        for lock in reversed(held):
+            lock.release()
+
+
+class PublisherVersionStore:
+    """The publisher's two-counter store plus its lock table."""
+
+    def __init__(self, kv: ShardedKV, hasher: Optional[DependencyHasher] = None) -> None:
+        self.kv = kv
+        self.hasher = hasher or DependencyHasher()
+        self.locks = _LockTable()
+
+    @staticmethod
+    def _key(hashed_dep: str) -> str:
+        return f"v:{hashed_dep}"
+
+    # -- the §4.2 publisher algorithm steps --------------------------------
+
+    def acquire_write_locks(self, deps: Iterable[str]) -> List[threading.Lock]:
+        return self.locks.acquire(self.hasher.hash(d) for d in deps)
+
+    def release_locks(self, held: List[threading.Lock]) -> None:
+        self.locks.release(held)
+
+    def bump(self, dep: str, is_write: bool) -> int:
+        """Increment ``ops`` (and ``version`` for writes); return the
+        version number to embed in the message."""
+        key = self._key(self.hasher.hash(dep))
+
+        def script(store: RedisLike) -> int:
+            ops = (store.hget(key, "ops") or 0) + 1
+            store.hset(key, "ops", ops)
+            if is_write:
+                store.hset(key, "version", ops)
+                return ops - 1
+            return store.hget(key, "version") or 0
+
+        return self.kv.eval_on(key, script)
+
+    def register_operation(
+        self, read_deps: Iterable[str], write_deps: Iterable[str]
+    ) -> Dict[str, int]:
+        """Bump every dependency; returns {hashed_dep: message_version}.
+
+        Write-dep versions win when a name appears as both (hash
+        collisions or explicit duplicates).
+        """
+        versions: Dict[str, int] = {}
+        for dep in read_deps:
+            hashed = self.hasher.hash(dep)
+            if hashed not in versions:
+                versions[hashed] = self.bump(dep, is_write=False)
+        for dep in write_deps:
+            versions[self.hasher.hash(dep)] = self.bump(dep, is_write=True)
+        return versions
+
+    # -- introspection / bootstrap -------------------------------------------
+
+    def current(self, dep: str) -> Tuple[int, int]:
+        key = self._key(self.hasher.hash(dep))
+        return (self.kv.hget(key, "ops") or 0, self.kv.hget(key, "version") or 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """hashed_dep -> ops, the bulk payload of bootstrap step 1 (§4.4)."""
+        out = {}
+        for key, fields in self.kv.entries("v:").items():
+            out[key[len("v:"):]] = fields.get("ops", 0)
+        return out
+
+    def flush(self) -> None:
+        self.kv.flushall()
+
+
+class SubscriberVersionStore:
+    """The subscriber's single-counter store."""
+
+    def __init__(self, kv: ShardedKV) -> None:
+        self.kv = kv
+        self._waiters = threading.Condition()
+
+    @staticmethod
+    def _key(hashed_dep: str) -> str:
+        return f"s:{hashed_dep}"
+
+    def ops(self, hashed_dep: str) -> int:
+        return self.kv.hget(self._key(hashed_dep), "ops") or 0
+
+    def satisfied(self, dependencies: Dict[str, int]) -> bool:
+        return all(self.ops(dep) >= version for dep, version in dependencies.items())
+
+    def missing(self, dependencies: Dict[str, int]) -> Dict[str, Tuple[int, int]]:
+        """Unsatisfied deps -> (required, current); for diagnostics."""
+        out = {}
+        for dep, version in dependencies.items():
+            current = self.ops(dep)
+            if current < version:
+                out[dep] = (version, current)
+        return out
+
+    def apply(self, dependencies: Iterable[str]) -> None:
+        """Post-processing increment of every (non-external) dependency."""
+        for dep in dependencies:
+            key = self._key(dep)
+
+            def script(store: RedisLike, key: str = key) -> None:
+                store.hset(key, "ops", (store.hget(key, "ops") or 0) + 1)
+
+            self.kv.eval_on(key, script)
+        with self._waiters:
+            self._waiters.notify_all()
+
+    # Weak-mode per-object freshness -----------------------------------------
+
+    def is_stale(self, hashed_dep: str, message_version: int) -> bool:
+        """Weak delivery: a message older than the applied state is
+        discarded rather than waited for (§3.2)."""
+        return message_version < self.ops(hashed_dep)
+
+    def fast_forward(self, hashed_dep: str, message_version: int) -> None:
+        """Weak delivery: jump the counter past a (possibly out-of-order)
+        message that was just applied."""
+        key = self._key(hashed_dep)
+
+        def script(store: RedisLike) -> None:
+            current = store.hget(key, "ops") or 0
+            store.hset(key, "ops", max(current, message_version + 1))
+
+        self.kv.eval_on(key, script)
+        with self._waiters:
+            self._waiters.notify_all()
+
+    # Blocking wait used by threaded subscriber workers --------------------------
+
+    def wait_satisfied(self, dependencies: Dict[str, int], timeout: float) -> bool:
+        end = time.monotonic() + timeout
+        with self._waiters:
+            while not self.satisfied(dependencies):
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._waiters.wait(min(remaining, 0.05))
+        return True
+
+    # Bootstrap ---------------------------------------------------------------
+
+    def bulk_load(self, snapshot: Dict[str, int]) -> None:
+        """Bootstrap step 1: adopt the publisher's ops counters (§4.4)."""
+        for hashed_dep, ops in snapshot.items():
+            key = self._key(hashed_dep)
+
+            def script(store: RedisLike, key: str = key, ops: int = ops) -> None:
+                current = store.hget(key, "ops") or 0
+                store.hset(key, "ops", max(current, ops))
+
+            self.kv.eval_on(key, script)
+        with self._waiters:
+            self._waiters.notify_all()
+
+    def flush(self) -> None:
+        self.kv.flushall()
+        with self._waiters:
+            self._waiters.notify_all()

@@ -1,0 +1,17 @@
+"""Workload generators reproducing the paper's evaluation traffic:
+
+- :mod:`repro.workloads.social` — the §6.3 stress-test microbenchmark
+  (25% posts / 75% comments with cross-user dependencies);
+- :mod:`repro.workloads.crowdtap` — the §6.2 Crowdtap production
+  controller mix of Fig 12(a).
+"""
+
+from repro.workloads.social import SocialWorkload, build_social_publisher
+from repro.workloads.crowdtap import CrowdtapApp, CONTROLLER_MIX
+
+__all__ = [
+    "SocialWorkload",
+    "build_social_publisher",
+    "CrowdtapApp",
+    "CONTROLLER_MIX",
+]

@@ -1,0 +1,165 @@
+"""A synthetic Crowdtap-like application matching Fig 12(a).
+
+The paper instrumented Crowdtap's main app for 24 hours (170k controller
+calls). We rebuild the five most-frequent controllers with the published
+per-controller profiles — call share, mean messages published per call,
+mean dependencies per message — so the Fig 12(a) overhead table can be
+regenerated against this library.
+
+| controller      | % calls | msgs/call | deps/msg |
+|-----------------|---------|-----------|----------|
+| awards/index    | 17.0    | 0.00      | 0.0      |
+| brands/show     | 16.0    | 0.03      | 1.0      |
+| actions/index   | 15.0    | 0.67      | 17.8     |
+| me/show         | 12.0    | 0.00      | 0.0      |
+| actions/update  | 11.5    | 3.46      | 1.8      |
+| (50 others)     | 28.5    | low       | low      |
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.databases.document import MongoLike
+from repro.orm import BelongsTo, Field, Model
+
+#: controller -> (traffic share, mean messages/call, mean deps/message)
+CONTROLLER_MIX: Dict[str, tuple] = {
+    "awards/index": (0.170, 0.00, 0.0),
+    "brands/show": (0.160, 0.03, 1.0),
+    "actions/index": (0.150, 0.67, 17.8),
+    "me/show": (0.120, 0.00, 0.0),
+    "actions/update": (0.115, 3.46, 1.8),
+    "other": (0.285, 0.10, 1.0),
+}
+
+
+class CrowdtapApp:
+    """The main Crowdtap-like application (MongoDB, causal publisher)."""
+
+    def __init__(self, ecosystem: Any, seed: int = 11, members: int = 50,
+                 brands: int = 10, awards: int = 20) -> None:
+        self.ecosystem = ecosystem
+        self.rng = random.Random(seed)
+        self.service = ecosystem.service(
+            "crowdtap-main", database=MongoLike("crowdtap-db")
+        )
+        service = self.service
+
+        @service.model(publish=["name", "points"])
+        class Member(Model):
+            name = Field(str)
+            points = Field(int, default=0)
+
+        @service.model(publish=["name"])
+        class Brand(Model):
+            name = Field(str)
+
+        @service.model(publish=["name", "brand_id"])
+        class Award(Model):
+            name = Field(str)
+            brand = BelongsTo("Brand")
+
+        @service.model(publish=["kind", "member_id", "brand_id", "status"])
+        class Action(Model):
+            kind = Field(str)
+            status = Field(str, default="pending")
+            member = BelongsTo("Member")
+            brand = BelongsTo("Brand")
+
+        self.Member, self.Brand, self.Award, self.Action = (
+            Member, Brand, Award, Action,
+        )
+        self.members = [Member.create(name=f"m{i}") for i in range(members)]
+        self.brands = [Brand.create(name=f"b{i}") for i in range(brands)]
+        self.awards = [
+            Award.create(name=f"a{i}", brand_id=self.rng.choice(self.brands).id)
+            for i in range(awards)
+        ]
+        self.actions: List[Any] = []
+        for member in self.members:
+            self.actions.append(
+                Action.create(
+                    kind="seed",
+                    member_id=member.id,
+                    brand_id=self.rng.choice(self.brands).id,
+                )
+            )
+
+    # -- the five controllers ------------------------------------------------
+
+    def awards_index(self, member: Any) -> None:
+        """Read-only listing of awards: publishes nothing."""
+        self.Award.where(_limit=10)
+
+    def brands_show(self, member: Any) -> None:
+        """Mostly read; 3% of calls record a 'viewed' action."""
+        brand = self.Brand.find(self.rng.choice(self.brands).id)
+        if self.rng.random() < 0.03:
+            self.Action.create(kind="view", member_id=member.id,
+                               brand_id=brand.id)
+
+    def actions_index(self, member: Any) -> None:
+        """Feed assembly: reads many actions (large dependency sets) and
+        occasionally (67%) records an impression touching them."""
+        feed = self.Action.where(_limit=17)
+        if self.rng.random() < 0.67:
+            self.Action.create(
+                kind="impression",
+                member_id=member.id,
+                brand_id=self.rng.choice(self.brands).id,
+            )
+
+    def me_show(self, member: Any) -> None:
+        """Profile read: publishes nothing."""
+        self.Member.find(member.id)
+
+    def actions_update(self, member: Any) -> None:
+        """Write-heavy: completes an action, awards points, logs events —
+        several messages per call."""
+        action = self.Action.find(self.rng.choice(self.actions).id)
+        action.update(status="completed")
+        fresh = self.Member.find(member.id)
+        fresh.update(points=(fresh.points or 0) + 10)
+        self.Action.create(kind="reward", member_id=member.id,
+                           brand_id=action.brand_id)
+        if self.rng.random() < 0.46:
+            self.Action.create(kind="share", member_id=member.id,
+                               brand_id=action.brand_id)
+
+    def other(self, member: Any) -> None:
+        """The long tail of 50 other controllers: light reads, rare writes."""
+        self.Member.find(member.id)
+        if self.rng.random() < 0.10:
+            self.Action.create(kind="misc", member_id=member.id,
+                               brand_id=self.rng.choice(self.brands).id)
+
+    # -- traffic driver ---------------------------------------------------------
+
+    def controller_table(self) -> Dict[str, Callable[[Any], None]]:
+        return {
+            "awards/index": self.awards_index,
+            "brands/show": self.brands_show,
+            "actions/index": self.actions_index,
+            "me/show": self.me_show,
+            "actions/update": self.actions_update,
+            "other": self.other,
+        }
+
+    def sample_controller(self) -> str:
+        roll = self.rng.random()
+        acc = 0.0
+        for name, (share, _msgs, _deps) in CONTROLLER_MIX.items():
+            acc += share
+            if roll < acc:
+                return name
+        return "other"
+
+    def run_request(self, controller: Optional[str] = None) -> str:
+        """One user request through one controller, in a user session."""
+        name = controller or self.sample_controller()
+        member = self.rng.choice(self.members)
+        with self.service.controller(user=member):
+            self.controller_table()[name](member)
+        return name

@@ -1,0 +1,109 @@
+"""The §6.3 stress-test microbenchmark.
+
+"Users continuously create posts and comments, similar to the code on
+Fig 8. Comments are related to posts and create cross-user dependencies.
+We issue traffic as fast as possible ... with a uniform distribution of
+25% posts and 75% comments."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.databases.document import MongoLike
+from repro.errors import RecordNotFound
+from repro.orm import BelongsTo, Field, Model
+
+
+def build_social_publisher(
+    ecosystem: Any,
+    name: str = "social",
+    database: Optional[Any] = None,
+    delivery_mode: str = "causal",
+    ephemeral: bool = False,
+) -> Tuple[Any, type, type, type]:
+    """A social-network publisher: User, Post, Comment (Fig 8 schema).
+
+    With ``ephemeral=True`` the models are DB-less publishers — the
+    "Ephemeral -> Observer" configuration of Fig 13(b).
+    """
+    if database is None and not ephemeral:
+        database = MongoLike(f"{name}-db")
+    service = ecosystem.service(
+        name, database=database, delivery_mode=delivery_mode
+    )
+    kwargs = {"ephemeral": True} if ephemeral else {}
+
+    @service.model(publish=["name"], **kwargs)
+    class User(Model):
+        name = Field(str)
+
+    @service.model(publish=["author_id", "body"], **kwargs)
+    class Post(Model):
+        body = Field(str)
+        author = BelongsTo("User")
+
+    @service.model(publish=["post_id", "author_id", "body"], **kwargs)
+    class Comment(Model):
+        body = Field(str)
+        post = BelongsTo("Post")
+        author = BelongsTo("User")
+
+    return service, User, Post, Comment
+
+
+class SocialWorkload:
+    """Closed-loop driver issuing the 25/75 post/comment mix."""
+
+    def __init__(
+        self,
+        service: Any,
+        user_cls: type,
+        post_cls: type,
+        comment_cls: type,
+        users: int = 20,
+        seed: int = 7,
+        track_recent: int = 64,
+    ) -> None:
+        self.service = service
+        self.user_cls = user_cls
+        self.post_cls = post_cls
+        self.comment_cls = comment_cls
+        self.rng = random.Random(seed)
+        self.users = [user_cls.create(name=f"user{i}") for i in range(users)]
+        self.recent_posts: List[Any] = []
+        self._track_recent = track_recent
+        self.posts_created = 0
+        self.comments_created = 0
+
+    def step(self, post_fraction: float = 0.25) -> None:
+        """One user request: a post (with probability ``post_fraction``)
+        or a comment on a recent post by (usually) another user."""
+        user = self.rng.choice(self.users)
+        with self.service.controller(user=user) as ctx:
+            if not self.recent_posts or self.rng.random() < post_fraction:
+                post = self.post_cls.create(author_id=user.id, body="post body")
+                self.recent_posts.append(post)
+                if len(self.recent_posts) > self._track_recent:
+                    self.recent_posts.pop(0)
+                self.posts_created += 1
+            else:
+                target = self.rng.choice(self.recent_posts)
+                try:
+                    # Reading the post creates the cross-user read dep.
+                    seen = self.post_cls.find(target.id)
+                    post_id = seen.id
+                except RecordNotFound:
+                    # Ephemeral publishers have nothing to read back:
+                    # declare the dependency explicitly (§3.1 API).
+                    ctx.add_read_deps(target)
+                    post_id = target.id
+                self.comment_cls.create(
+                    post_id=post_id, author_id=user.id, body="nice post"
+                )
+                self.comments_created += 1
+
+    def run(self, operations: int, post_fraction: float = 0.25) -> None:
+        for _ in range(operations):
+            self.step(post_fraction)

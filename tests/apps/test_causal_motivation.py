@@ -1,0 +1,57 @@
+"""The paper's motivating causality example (§3.2): "sending a
+notification for a new post to an out-of-date friends set"."""
+
+import pytest
+
+from repro.apps import build_social_ecosystem
+
+
+class TestOutOfDateFriendsSet:
+    def test_unfriended_user_gets_no_notification(self):
+        """bob unfriends ada *before* ada posts; causal delivery means
+        the mailer's friends set cannot lag behind the post."""
+        world = build_social_ecosystem()
+        ada = world.diaspora.users_create("ada", "ada@x")
+        bob = world.diaspora.users_create("bob", "bob@x")
+        friendship = world.diaspora.friends_create(ada, bob)
+        world.sync()
+        # Unfriend, then post — all before the mailer sees anything new.
+        with world.diaspora.service.controller(user=ada):
+            world.diaspora.Friendship.find(friendship.id).destroy()
+        world.diaspora.posts_create(ada, "secret party at my place")
+        world.sync()
+        assert world.mailer.outbox == []
+
+    def test_friended_just_before_post_does_get_notified(self):
+        world = build_social_ecosystem()
+        ada = world.diaspora.users_create("ada", "ada@x")
+        bob = world.diaspora.users_create("bob", "bob@x")
+        # Friend + post back-to-back; the mailer was offline throughout.
+        world.diaspora.friends_create(ada, bob)
+        world.diaspora.posts_create(ada, "welcome aboard bob")
+        world.sync()
+        assert [m["to"] for m in world.mailer.outbox] == ["bob@x"]
+
+    def test_unfriend_ordered_even_when_queue_reordered(self):
+        """Even if the fabric delivers out of order, the causal engine
+        refuses to apply the post before the unfriend."""
+        world = build_social_ecosystem()
+        ada = world.diaspora.users_create("ada", "ada@x")
+        bob = world.diaspora.users_create("bob", "bob@x")
+        friendship = world.diaspora.friends_create(ada, bob)
+        world.sync()
+        with world.diaspora.service.controller(user=ada):
+            world.diaspora.Friendship.find(friendship.id).destroy()
+        world.diaspora.posts_create(ada, "secret")
+        # Reverse the mailer's queue before draining.
+        queue = world.mailer.service.subscriber.queue
+        messages = []
+        while True:
+            message = queue.pop()
+            if message is None:
+                break
+            messages.append(message)
+        for message in messages:  # nack-ing in pop order reverses them
+            queue.nack(message)
+        world.sync()
+        assert world.mailer.outbox == []

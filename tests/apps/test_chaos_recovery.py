@@ -1,0 +1,64 @@
+"""Chaos test: the Crowdtap ecosystem under seeded random faults
+(message loss + subscriber store crashes) must converge after recovery."""
+
+import random
+
+import pytest
+
+from repro.apps.crowdtap import build_crowdtap_ecosystem
+from repro.core.bootstrap import bootstrap_subscriber
+
+
+class TestChaosConvergence:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_ecosystem_converges_after_faults_and_recovery(self, seed):
+        rng = random.Random(seed)
+        ct = build_crowdtap_ecosystem()
+        members = [ct.signup(f"m{i}", f"m{i}@x") for i in range(5)]
+        brands = [ct.add_brand(f"b{i}", f"brand number {i}") for i in range(3)]
+        ct.sync()
+
+        # Chaotic traffic: random losses sprinkled through real requests.
+        for step in range(60):
+            if rng.random() < 0.1:
+                ct.eco.broker.drop_next(rng.randint(1, 3))
+            member = rng.choice(members)
+            action = rng.random()
+            if action < 0.6:
+                ct.submit_action(member, rng.choice(brands), "review",
+                                 text=f"step {step}")
+            elif action < 0.8:
+                ct.crawl_profile(member, likes=[f"topic{step % 4}"])
+            else:
+                ct.sync()
+        # A subscriber version store dies mid-flight.
+        for shard in ct.eco.services["targeting"].subscriber_version_store.kv.shards:
+            shard.crash()
+            shard.restart()
+
+        ct.sync()
+        # Recovery: every subscriber re-bootstraps (the §6.5 playbook).
+        for name, service in ct.eco.services.items():
+            if service.subscriber.specs:
+                bootstrap_subscriber(service)
+        ct.sync()
+        # One more pass for cascade messages produced during recovery.
+        for name, service in ct.eco.services.items():
+            if service.subscriber.specs:
+                bootstrap_subscriber(service)
+        ct.sync()
+
+        # Convergence: every subscriber holds exactly the publisher state.
+        main_members = {m.id: m.points for m in ct.Member.all()}
+        targeting = {m.id: m.points
+                     for m in ct.TargetedMember.all()}
+        assert targeting == main_members
+        main_actions = {a.id for a in ct.Action.all()}
+        moderated = {a.id for a in ct.ModeratedAction.all()}
+        assert moderated == main_actions
+        reported = {a.id for a in ct.ReportedAction.all()}
+        assert reported == main_actions
+        # Every moderated action reached a verdict (callbacks re-ran or
+        # survived recovery).
+        assert all(a.status in ("approved", "rejected", "pending")
+                   for a in ct.ModeratedAction.all())

@@ -1,0 +1,129 @@
+"""Tests over the nine-service Crowdtap ecosystem of §5.1 (Fig 10)."""
+
+import pytest
+
+from repro.apps.crowdtap import build_crowdtap_ecosystem
+
+
+@pytest.fixture
+def ct():
+    return build_crowdtap_ecosystem()
+
+
+class TestTopology:
+    def test_nine_services(self, ct):
+        assert len(ct.eco.services) == 9
+
+    def test_delivery_modes_match_fig10(self, ct):
+        modes = {
+            ("moderation", "main"): "causal",
+            ("targeting", "main"): "causal",
+            ("ct-mailer", "main"): "causal",
+            ("analytics", "main"): "weak",
+            ("search", "main"): "weak",
+            ("reporting", "main"): "weak",
+            ("ct-spree", "main"): "causal",
+        }
+        for (sub, pub), mode in modes.items():
+            assert ct.eco.services[sub].subscriber.app_modes[pub] == mode
+
+    def test_static_checks_pass(self, ct):
+        from repro.core.testing import check_ecosystem
+
+        assert check_ecosystem(ct.eco) == []
+
+
+class TestFlows:
+    def test_welcome_mail_on_signup(self, ct):
+        ct.signup("ada", "ada@x")
+        ct.sync()
+        assert {"to": "ada@x", "subject": "welcome"} in ct.outbox
+
+    def test_moderation_decorates_and_mailer_reacts(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        brand = ct.add_brand("Sony", "electronics and cameras")
+        ct.submit_action(ada, brand, "review", text="this is spam honestly")
+        ct.sync()
+        action = ct.ModeratedAction.all()[0]
+        assert action.status == "rejected"
+        assert any(m["subject"].endswith("rejected") for m in ct.outbox)
+
+    def test_clean_action_approved(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        brand = ct.add_brand("Sony", "electronics")
+        ct.submit_action(ada, brand, "review", text="love the camera")
+        ct.sync()
+        assert ct.ModeratedAction.all()[0].status == "approved"
+
+    def test_targeting_builds_segments_from_crawler(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        ct.sync()
+        ct.crawl_profile(ada, likes=["coffee", "cameras"])
+        ct.sync()
+        member = ct.TargetedMember.find(ada.id)
+        assert member.segments == ["likes:cameras", "likes:coffee"]
+
+    def test_segments_reach_spree_through_decorator_chain(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        ct.sync()
+        ct.crawl_profile(ada, likes=["coffee"])
+        ct.sync()
+        assert ct.members_in_segment("likes:coffee") == ["ada"]
+
+    def test_analytics_aggregates_actions(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        brand = ct.add_brand("Sony", "x")
+        for kind in ["review", "review", "share"]:
+            ct.submit_action(ada, brand, kind)
+        ct.sync()
+        counts = ct.actions_per_kind()
+        assert counts == {"review": 2, "share": 1}
+
+    def test_search_engine_full_text(self, ct):
+        ct.add_brand("Sony", "cameras and televisions")
+        ct.add_brand("AT&T", "phone plans and internet")
+        ct.sync()
+        assert ct.search_brands("cameras") == ["Sony"]
+        assert ct.search_brands("internet") == ["AT&T"]
+
+    def test_reporting_counts(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        brand = ct.add_brand("Sony", "x")
+        ct.submit_action(ada, brand, "review")
+        ct.submit_action(ada, brand, "share")
+        ct.sync()
+        assert ct.engagement_report() == {"review": 1, "share": 1}
+
+    def test_top_members_pipeline(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        bob = ct.signup("bob", "bob@x")
+        brand = ct.add_brand("Sony", "x")
+        for _ in range(3):
+            ct.submit_action(ada, brand, "review")
+        ct.submit_action(bob, brand, "review")
+        ct.sync()
+        top = ct.top_members_by_actions(limit=1)
+        assert top == [{"_id": ada.id, "actions": 3}]
+
+    def test_points_update_propagates_causally(self, ct):
+        ada = ct.signup("ada", "ada@x")
+        brand = ct.add_brand("Sony", "x")
+        ct.submit_action(ada, brand, "review")
+        ct.submit_action(ada, brand, "review")
+        ct.sync()
+        assert ct.TargetedMember.find(ada.id).points == 10
+
+
+class TestResilience:
+    def test_weak_subscribers_survive_message_loss(self, ct):
+        """Fig 10's point: analytics (weak) keeps working when messages
+        are lost, while causal subscribers would stall."""
+        ada = ct.signup("ada", "ada@x")
+        brand = ct.add_brand("Sony", "x")
+        ct.sync()
+        ct.eco.broker.drop_next(9)  # one publish fans out to 9... drop all copies
+        ct.submit_action(ada, brand, "review")  # lost everywhere
+        ct.submit_action(ada, brand, "share")
+        ct.sync()
+        # Analytics (weak) processed what arrived.
+        assert "share" in ct.actions_per_kind()

@@ -1,0 +1,121 @@
+"""Integration tests over the full §5.2 ecosystem (Fig 11)."""
+
+import pytest
+
+from repro.apps import build_social_ecosystem
+from repro.apps.analyzer import extract_topics
+
+
+@pytest.fixture
+def world():
+    return build_social_ecosystem()
+
+
+class TestTopicExtraction:
+    def test_extracts_frequent_long_tokens(self):
+        topics = extract_topics(
+            "coffee coffee coffee guitar mornings with coffee and guitar"
+        )
+        assert topics[0] == "coffee"
+        assert "guitar" in topics
+
+    def test_ignores_stopwords_and_short_tokens(self):
+        assert extract_topics("the and a of to in is it") == []
+
+    def test_empty(self):
+        assert extract_topics("") == []
+
+
+class TestFig9aFlow:
+    """A user posts on Diaspora; the mailer and the analyzer both react;
+    Spree eventually sees the decorated interests."""
+
+    def test_post_reaches_mailer_and_analyzer_then_spree(self, world):
+        ada = world.diaspora.users_create("ada", "ada@example.org")
+        bob = world.diaspora.users_create("bob", "bob@example.org")
+        world.diaspora.friends_create(ada, bob)
+        world.sync()
+        world.diaspora.posts_create(
+            ada, "I love coffee, coffee every morning with my guitar"
+        )
+        world.sync()
+        # Mailer notified ada's friend bob.
+        assert len(world.mailer.outbox) == 1
+        assert world.mailer.outbox[0]["to"] == "bob@example.org"
+        # Analyzer decorated ada with interests.
+        analyzer_user = world.analyzer.User.find(ada.id)
+        assert "coffee" in analyzer_user.interests
+        # Spree received the decoration through the chain.
+        spree_user = world.spree.User.find(ada.id)
+        assert "coffee" in spree_user.interests
+
+    def test_recommendations_from_social_activity(self, world):
+        ada = world.diaspora.users_create("ada", "ada@example.org")
+        world.sync()
+        world.diaspora.posts_create(
+            ada, "my cats are wonderful cats, cats cats everywhere"
+        )
+        world.sync()
+        recs = world.spree.recommend(ada.id)
+        assert recs, "expected at least one recommendation"
+        assert recs[0].name == "Cat tree"
+
+    def test_discourse_posts_also_feed_the_analyzer(self, world):
+        ada = world.diaspora.users_create("ada", "a@x")
+        world.sync()
+        topic = world.discourse.topics_create(ada.id, "gear talk")
+        world.discourse.posts_create(
+            ada.id, topic, "guitar strings and guitar picks for guitar nerds"
+        )
+        world.sync()
+        assert "guitar" in world.analyzer.User.find(ada.id).interests
+
+    def test_no_email_without_friends(self, world):
+        ada = world.diaspora.users_create("ada", "a@x")
+        world.sync()
+        world.diaspora.posts_create(ada, "hello world")
+        world.sync()
+        assert world.mailer.outbox == []
+
+
+class TestFig9bCausality:
+    """Mailer offline; two users post twice; on reconnect each user's
+    messages are handled in order (the Fig 9(b) execution)."""
+
+    def test_disconnected_mailer_catches_up_in_causal_order(self, world):
+        ada = world.diaspora.users_create("ada", "ada@x")
+        bob = world.diaspora.users_create("bob", "bob@x")
+        carl = world.diaspora.users_create("carl", "carl@x")
+        world.diaspora.friends_create(ada, carl)
+        world.diaspora.friends_create(bob, carl)
+        world.sync()
+        # Mailer goes offline (stops draining); posts accumulate.
+        world.diaspora.posts_create(ada, "ada first")
+        world.diaspora.posts_create(bob, "bob first")
+        world.diaspora.posts_create(ada, "ada second")
+        world.diaspora.posts_create(bob, "bob second")
+        assert world.mailer.outbox == []
+        # Mailer reconnects and processes the backlog.
+        world.sync()
+        bodies = [m["body"] for m in world.mailer.outbox]
+        assert len(bodies) == 4
+        # Per-user order held.
+        ada_msgs = [b for b in bodies if b.startswith("ada")]
+        bob_msgs = [b for b in bodies if b.startswith("bob")]
+        assert ada_msgs == ["ada posted: ada first", "ada posted: ada second"]
+        assert bob_msgs == ["bob posted: bob first", "bob posted: bob second"]
+
+
+class TestSpreeCommerce:
+    def test_checkout_flow(self, world):
+        ada = world.diaspora.users_create("ada", "a@x")
+        world.sync()
+        products = world.spree.products_index()
+        user = world.spree.User.find(ada.id)
+        order = world.spree.orders_create(user, [(products[0], 2)])
+        assert order.total == pytest.approx(products[0].price * 2)
+
+    def test_recommender_without_interests_is_empty(self, world):
+        ada = world.diaspora.users_create("ada", "a@x")
+        world.sync()
+        assert world.spree.recommend(ada.id) == []

@@ -1,0 +1,177 @@
+"""Unit tests for the message broker and subscriber queues."""
+
+import pytest
+
+from repro.broker import Broker, Message, SubscriberQueue
+from repro.errors import BrokerError, QueueDecommissioned
+
+
+def make_message(app="pub", op_id=1, deps=None):
+    return Message(
+        app=app,
+        operations=[{"operation": "create", "types": ["User"], "id": op_id,
+                     "attributes": {"name": "x"}}],
+        dependencies=deps or {},
+        published_at=0.0,
+    )
+
+
+class TestMessage:
+    def test_json_roundtrip(self):
+        msg = make_message(deps={"u1": 3})
+        clone = Message.from_json(msg.to_json())
+        assert clone.app == "pub"
+        assert clone.dependencies == {"u1": 3}
+        assert clone.operations[0]["attributes"] == {"name": "x"}
+        assert clone.generation == 1
+
+    def test_copy_is_independent(self):
+        msg = make_message()
+        clone = msg.copy()
+        clone.operations[0]["attributes"]["name"] = "mutated"
+        assert msg.operations[0]["attributes"]["name"] == "x"
+
+    def test_non_serialisable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            make_message(op_id=object()).to_json()
+
+
+class TestQueue:
+    def test_fifo_pop_ack(self):
+        q = SubscriberQueue("sub")
+        for i in range(3):
+            q.publish(make_message(op_id=i))
+        seen = []
+        while True:
+            msg = q.pop()
+            if msg is None:
+                break
+            seen.append(msg.operations[0]["id"])
+            q.ack(msg)
+        assert seen == [0, 1, 2]
+        assert q.total_acked == 3
+
+    def test_pop_empty_returns_none(self):
+        assert SubscriberQueue("sub").pop() is None
+
+    def test_nack_redelivers_at_front(self):
+        q = SubscriberQueue("sub")
+        q.publish(make_message(op_id=1))
+        q.publish(make_message(op_id=2))
+        first = q.pop()
+        q.nack(first)
+        again = q.pop()
+        assert again.operations[0]["id"] == 1
+        assert again.delivery_count == 2
+
+    def test_ack_unknown_rejected(self):
+        q = SubscriberQueue("sub")
+        q.publish(make_message())
+        msg = q.pop()
+        q.ack(msg)
+        with pytest.raises(BrokerError):
+            q.ack(msg)
+
+    def test_requeue_unacked(self):
+        q = SubscriberQueue("sub")
+        q.publish(make_message(op_id=1))
+        q.publish(make_message(op_id=2))
+        q.pop()
+        q.pop()
+        assert q.requeue_unacked() == 2
+        assert q.pop().operations[0]["id"] == 1
+
+    def test_decommission_on_overflow(self):
+        q = SubscriberQueue("sub", max_size=2)
+        for i in range(3):
+            q.publish(make_message(op_id=i))
+        assert q.decommissioned
+        assert len(q) == 0
+        with pytest.raises(QueueDecommissioned):
+            q.pop()
+        # Further publishes are dropped silently.
+        q.publish(make_message(op_id=9))
+        assert len(q) == 0
+
+    def test_recommission(self):
+        q = SubscriberQueue("sub", max_size=1)
+        q.publish(make_message(op_id=1))
+        q.publish(make_message(op_id=2))
+        assert q.decommissioned
+        q.recommission()
+        q.publish(make_message(op_id=3))
+        assert q.pop().operations[0]["id"] == 3
+
+
+class TestBrokerRouting:
+    def test_fanout_to_bound_subscribers(self):
+        broker = Broker()
+        q1 = broker.bind("sub1", "pub")
+        q2 = broker.bind("sub2", "pub")
+        broker.bind("sub3", "other")
+        broker.publish(make_message(app="pub"))
+        assert len(q1) == 1 and len(q2) == 1
+        assert len(broker.queue_for("sub3")) == 0
+
+    def test_subscriber_receives_from_multiple_publishers(self):
+        broker = Broker()
+        q = broker.bind("sub", "pub1")
+        broker.bind("sub", "pub2")
+        broker.publish(make_message(app="pub1"))
+        broker.publish(make_message(app="pub2"))
+        assert len(q) == 2
+
+    def test_copies_are_isolated_between_queues(self):
+        broker = Broker()
+        q1 = broker.bind("sub1", "pub")
+        q2 = broker.bind("sub2", "pub")
+        broker.publish(make_message(app="pub"))
+        m1 = q1.pop()
+        m1.operations[0]["attributes"]["name"] = "mutated"
+        assert q2.pop().operations[0]["attributes"]["name"] == "x"
+
+    def test_backlog_and_subscribers_of(self):
+        broker = Broker()
+        broker.bind("sub1", "pub")
+        broker.bind("sub2", "pub")
+        broker.publish(make_message(app="pub"))
+        assert broker.backlog() == {"sub1": 1, "sub2": 1}
+        assert broker.subscribers_of("pub") == ["sub1", "sub2"]
+
+
+class TestPublisherMetadata:
+    def test_publication_registry(self):
+        broker = Broker()
+        broker.register_publication("pub", "User", ["name"], "causal")
+        broker.register_publication("pub", "User", ["email"], "causal")
+        assert broker.published_fields("pub", "User") == ["email", "name"]
+        assert broker.publisher_mode("pub") == "causal"
+        assert broker.published_models("pub") == ["User"]
+        assert broker.published_fields("pub", "Nope") is None
+
+    def test_validate_binding(self):
+        broker = Broker()
+        with pytest.raises(BrokerError):
+            broker.validate_binding("sub", "ghost")
+        broker.register_publication("ghost", "User", ["name"], "weak")
+        broker.validate_binding("sub", "ghost")
+
+
+class TestFaultInjection:
+    def test_drop_next(self):
+        broker = Broker()
+        q = broker.bind("sub", "pub")
+        broker.drop_next(1)
+        broker.publish(make_message(app="pub"))
+        broker.publish(make_message(app="pub"))
+        assert len(q) == 1
+        assert broker.dropped_messages == 1
+
+    def test_loss_probability_deterministic_with_seed(self):
+        broker = Broker(seed=42)
+        q = broker.bind("sub", "pub")
+        broker.loss_probability = 0.5
+        for i in range(100):
+            broker.publish(make_message(app="pub", op_id=i))
+        assert 20 < len(q) < 80
+        assert len(q) + broker.dropped_messages == 100

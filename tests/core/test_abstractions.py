@@ -1,0 +1,319 @@
+"""Decorators, ephemerals, observers and virtual attributes (§3.1, §3.3)."""
+
+import pytest
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.graph import Neo4jLike
+from repro.databases.relational import PostgresLike
+from repro.errors import DecoratorViolation, SynapseError
+from repro.orm import (
+    BelongsTo,
+    Field,
+    Model,
+    VirtualField,
+    after_create,
+    after_destroy,
+)
+
+
+@pytest.fixture
+def eco():
+    return Ecosystem()
+
+
+def make_user_publisher(eco, extra_fields=()):
+    pub = eco.service("pub1", database=MongoLike("pub-db"))
+    fields = {"name": Field(str)}
+    for name in extra_fields:
+        fields[name] = Field(str)
+
+    namespace = dict(fields)
+    User = type("User", (Model,), namespace)
+    pub.model(publish=list(fields))(User)
+    return pub, User
+
+
+class TestDecorators:
+    def build_decorator(self, eco):
+        """The Fig 3 Dec2 service: subscribes name, publishes interests."""
+        make_user_publisher(eco)
+        dec = eco.service("dec2", database=MongoLike("dec-db"))
+
+        @dec.model(
+            subscribe={"from": "pub1", "fields": ["name"]},
+            publish=["interests"],
+        )
+        class User(Model):
+            name = Field(str)
+            interests = Field(list, default=list)
+
+        return dec, User
+
+    def test_decorated_attribute_flows_downstream(self, eco):
+        dec, DecUser = self.build_decorator(eco)
+        sub2 = eco.service("sub2", database=PostgresLike("sub2-db"))
+
+        @sub2.model(
+            subscribe=[
+                {"from": "pub1", "fields": ["name"]},
+                {"from": "dec2", "fields": ["interests"]},
+            ]
+        )
+        class User(Model):
+            name = Field(str)
+            interests = Field(list, default=list)
+
+        pub_user_cls = eco.services["pub1"].registry["User"]
+        user = pub_user_cls.create(name="ada")
+        eco.drain_all()
+        # Decorator enriches the model...
+        with dec.controller():
+            dec_user = DecUser.find(user.id)
+            dec_user.interests = ["cats"]
+            dec_user.save()
+        eco.drain_all()
+        merged = User.find(user.id)
+        assert merged.name == "ada"
+        assert merged.interests == ["cats"]
+
+    def test_decorator_cannot_create_instances(self, eco):
+        dec, DecUser = self.build_decorator(eco)
+        with pytest.raises(DecoratorViolation):
+            with DecUser._suspend_readonly_guard():
+                DecUser.create(name="rogue", interests=[])
+
+    def test_decorator_cannot_delete_instances(self, eco):
+        dec, DecUser = self.build_decorator(eco)
+        pub_user_cls = eco.services["pub1"].registry["User"]
+        user = pub_user_cls.create(name="ada")
+        eco.drain_all()
+        with pytest.raises(DecoratorViolation):
+            DecUser.find(user.id).destroy()
+
+    def test_decorator_cannot_update_subscribed_attributes(self, eco):
+        from repro.errors import ReadOnlyAttributeError
+
+        dec, DecUser = self.build_decorator(eco)
+        pub_user_cls = eco.services["pub1"].registry["User"]
+        user = pub_user_cls.create(name="ada")
+        eco.drain_all()
+        dec_user = DecUser.find(user.id)
+        with pytest.raises(ReadOnlyAttributeError):
+            dec_user.name = "hacked"
+
+    def test_decorator_cannot_republish_subscribed_attributes(self, eco):
+        make_user_publisher(eco)
+        dec = eco.service("dec2", database=MongoLike("dec-db"))
+        with pytest.raises(DecoratorViolation):
+            @dec.model(
+                subscribe={"from": "pub1", "fields": ["name"]},
+                publish=["name", "interests"],
+            )
+            class User(Model):
+                name = Field(str)
+                interests = Field(list, default=list)
+
+    def test_decorator_message_carries_external_dependency(self, eco):
+        """Downstream subscribers wait for the origin data to land before
+        applying decorations read from it (§4.2)."""
+        dec, DecUser = self.build_decorator(eco)
+        pub_user_cls = eco.services["pub1"].registry["User"]
+        user = pub_user_cls.create(name="ada")
+        eco.drain_all()
+        probe = eco.broker.bind("probe", "dec2")
+        with dec.controller():
+            dec_user = DecUser.find(user.id)
+            dec_user.interests = ["cats"]
+            dec_user.save()
+        msg = probe.pop()
+        assert msg.external_dependencies == {"pub1/users/id/1": 1}
+        assert "dec2/users/id/1" in msg.dependencies
+
+
+class TestEphemerals:
+    def test_ephemeral_publishes_without_persisting(self, eco):
+        """User actions stream: front-end publishes, analytics stores."""
+        front = eco.service("frontend")  # no database at all
+
+        @front.model(publish=["kind", "target"], ephemeral=True)
+        class UserAction(Model):
+            kind = Field(str)
+            target = Field(str)
+
+        analytics = eco.service("analytics", database=MongoLike("an-db"))
+
+        @analytics.model(subscribe={"from": "frontend", "fields": ["kind", "target"]})
+        class UserAction(Model):  # noqa: F811
+            kind = Field(str)
+            target = Field(str)
+
+        front_cls = front.registry["UserAction"]
+        front_cls.create(kind="click", target="buy-button")
+        front_cls.create(kind="search", target="cats")
+        eco.drain_all()
+        stored = analytics.registry["UserAction"].all()
+        assert {a.kind for a in stored} == {"click", "search"}
+        # Nothing persisted on the ephemeral side.
+        assert front_cls.count() == 0
+
+    def test_ephemeral_cannot_subscribe(self, eco):
+        front = eco.service("frontend")
+        with pytest.raises(SynapseError):
+            front.model(subscribe={"from": "x", "fields": []}, ephemeral=True)
+
+    def test_dbless_service_requires_ephemeral_or_observer(self, eco):
+        svc = eco.service("dbless")
+        with pytest.raises(SynapseError):
+            @svc.model(publish=["name"])
+            class User(Model):
+                name = Field(str)
+
+
+class TestObservers:
+    def test_fig5_friendship_edges(self, eco):
+        """Example 2: SQL friendships become Neo4j edges via an observer."""
+        pub = eco.service("pub2", database=PostgresLike("pub2-db"))
+
+        @pub.model(publish=["name", "likes"])
+        class User(Model):
+            name = Field(str)
+            likes = Field(list, default=list)
+
+        @pub.model(publish=["user1_id", "user2_id"])
+        class Friendship(Model):
+            user1 = BelongsTo("User")
+            user2 = BelongsTo("User")
+
+        sub = eco.service("sub2", database=Neo4jLike("neo"))
+        neo = sub.database
+
+        @sub.model(subscribe={"from": "pub2", "fields": ["name", "likes"]},
+                   name="User")
+        class SubUser(Model):
+            name = Field(str)
+            likes = Field(list, default=list)
+
+        @sub.model(
+            subscribe={"from": "pub2", "fields": ["user1_id", "user2_id"]},
+            observer=True,
+        )
+        class Friendship(Model):  # noqa: F811
+            user1_id = Field(int)
+            user2_id = Field(int)
+
+            @after_create
+            def add_edge(self):
+                neo.create_edge(self.user1_id, "friend", self.user2_id,
+                                directed=False)
+
+            @after_destroy
+            def remove_edge(self):
+                neo.delete_edge(self.user1_id, "friend", self.user2_id,
+                                directed=False)
+
+        pub_user = pub.registry["User"]
+        pub_friend = pub.registry["Friendship"]
+        a = pub_user.create(name="a")
+        b = pub_user.create(name="b")
+        friendship = pub_friend.create(user1_id=a.id, user2_id=b.id)
+        eco.drain_all()
+        assert neo.has_edge(a.id, "friend", b.id)
+        assert neo.has_edge(b.id, "friend", a.id)
+        # Friendship rows are NOT persisted as nodes.
+        assert neo.count_nodes("Friendship") == 0
+        # Unfriending removes the edge.
+        friendship.destroy()
+        eco.drain_all()
+        assert not neo.has_edge(a.id, "friend", b.id)
+
+    def test_observer_cannot_publish(self, eco):
+        svc = eco.service("svc", database=MongoLike("m"))
+        with pytest.raises(SynapseError):
+            svc.model(publish=["x"], observer=True)
+
+
+class TestVirtualAttributes:
+    def test_example3_interest_rows(self, eco):
+        """Fig 7 Sub3b: a Mongo array lands as one SQL row per element."""
+        pub = eco.service("pub3", database=MongoLike("pub3-db"))
+
+        @pub.model(publish=["interests"])
+        class User(Model):
+            interests = Field(list, default=list)
+
+        sub = eco.service("sub3b", database=PostgresLike("sub3b-db"))
+
+        @sub.model()
+        class Interest(Model):
+            user_id = Field(int)
+            tag = Field(str)
+
+        @sub.model(
+            subscribe={"from": "pub3", "fields": {"interests": "interests_virt"}},
+            name="User",
+        )
+        class SubUser(Model):
+            interests_virt = VirtualField()
+
+            def interests_virt_set(self, tags):
+                Interest.where(user_id=self.id)  # ensure table exists
+                for row in Interest.where(user_id=self.id):
+                    if row.tag not in tags:
+                        row.destroy()
+                existing = {r.tag for r in Interest.where(user_id=self.id)}
+                for tag in tags:
+                    if tag not in existing:
+                        Interest.create(user_id=self.id, tag=tag)
+
+            def interests_virt_get(self):
+                return [r.tag for r in Interest.where(user_id=self.id)]
+
+        pub_user = pub.registry["User"]
+        user = pub_user.create(interests=["cats", "dogs"])
+        eco.drain_all()
+        assert {r.tag for r in Interest.all()} == {"cats", "dogs"}
+        # Removing an interest deletes its row.
+        user.update(interests=["cats"])
+        eco.drain_all()
+        assert {r.tag for r in Interest.all()} == {"cats"}
+
+    def test_published_virtual_attribute_uses_getter(self, eco):
+        pub = eco.service("pub", database=MongoLike("m"))
+
+        @pub.model(publish=["name", "display_name"])
+        class User(Model):
+            name = Field(str)
+            display_name = VirtualField()
+
+            def display_name_get(self):
+                return (self.name or "").title()
+
+        probe = eco.broker.bind("probe", "pub")
+        User.create(name="ada lovelace")
+        msg = probe.pop()
+        assert msg.operations[0]["attributes"]["display_name"] == "Ada Lovelace"
+
+
+class TestPolymorphicModels:
+    def test_subscriber_consumes_base_type(self, eco):
+        """Publisher writes a subclass; subscriber knows only the base."""
+        pub = eco.service("pub", database=MongoLike("m"))
+
+        @pub.model(publish=["name"])
+        class Animal(Model):
+            name = Field(str)
+
+        @pub.model(publish=["name"])
+        class Dog(Animal):
+            pass
+
+        sub = eco.service("sub", database=MongoLike("s"))
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]})
+        class Animal(Model):  # noqa: F811
+            name = Field(str)
+
+        pub.registry["Dog"].create(name="rex")
+        sub.subscriber.drain()
+        assert sub.registry["Animal"].count() == 1

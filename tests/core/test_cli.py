@@ -1,0 +1,28 @@
+"""CLI (`python -m repro`) smoke tests."""
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == "1.0.0"
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "topology" in capsys.readouterr().out
+
+    def test_topology_text(self, capsys):
+        assert main(["topology", "crowdtap"]) == 0
+        out = capsys.readouterr().out
+        assert "main [mongodb]" in out
+
+    def test_topology_dot(self, capsys):
+        assert main(["topology", "social", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 1
+
+    def test_unknown_demo(self, capsys):
+        assert main(["demo", "nope"]) == 1

@@ -1,0 +1,143 @@
+"""Multi-level decorator cascades (the §3.1 "complex ecosystems ...
+subscribe to data from each other, enhance it, and publish it further")."""
+
+import pytest
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.orm import Field, Model, after_create, after_update
+
+
+def build_chain(eco):
+    """origin -> enricher1 (adds score) -> enricher2 (adds grade) -> sink."""
+    origin = eco.service("origin", database=MongoLike("o"))
+
+    @origin.model(publish=["text"])
+    class Item(Model):
+        text = Field(str)
+
+    enricher1 = eco.service("enricher1", database=MongoLike("e1"))
+
+    @enricher1.model(
+        subscribe={"from": "origin", "fields": ["text"]},
+        publish=["score"],
+        name="Item",
+    )
+    class ScoredItem(Model):
+        text = Field(str)
+        score = Field(int)
+
+        @after_create
+        def compute(self):
+            with enricher1.background_job():
+                mine = type(self).find(self.id)
+                mine.score = len(self.text or "")
+                mine.save()
+
+    enricher2 = eco.service("enricher2", database=MongoLike("e2"))
+
+    @enricher2.model(
+        subscribe=[
+            {"from": "origin", "fields": ["text"]},
+            {"from": "enricher1", "fields": ["score"]},
+        ],
+        publish=["grade"],
+        name="Item",
+    )
+    class GradedItem(Model):
+        text = Field(str)
+        score = Field(int)
+        grade = Field(str)
+
+        @after_create
+        @after_update
+        def compute(self):
+            if self.score is None or self.grade is not None:
+                return
+            with enricher2.background_job():
+                mine = type(self).find(self.id)
+                mine.grade = "long" if (mine.score or 0) > 10 else "short"
+                mine.save()
+
+    sink = eco.service("sink", database=PostgresLike("s"))
+
+    @sink.model(
+        subscribe=[
+            {"from": "origin", "fields": ["text"]},
+            {"from": "enricher1", "fields": ["score"]},
+            {"from": "enricher2", "fields": ["grade"]},
+        ],
+        name="Item",
+    )
+    class SinkItem(Model):
+        text = Field(str)
+        score = Field(int)
+        grade = Field(str)
+
+    return origin.registry["Item"], sink.registry["Item"]
+
+
+class TestThreeLevelCascade:
+    def test_enrichments_accumulate_at_the_sink(self):
+        eco = Ecosystem()
+        Item, SinkItem = build_chain(eco)
+        Item.create(text="a rather long piece of text")
+        Item.create(text="short")
+        eco.drain_all()
+        rows = {i.text: i for i in SinkItem.all()}
+        long_row = rows["a rather long piece of text"]
+        assert long_row.score == len("a rather long piece of text")
+        assert long_row.grade == "long"
+        assert rows["short"].grade == "short"
+
+    def test_cascade_updates_flow_through(self):
+        eco = Ecosystem()
+        Item, SinkItem = build_chain(eco)
+        item = Item.create(text="tiny")
+        eco.drain_all()
+        assert SinkItem.find(item.id).grade == "short"
+
+    def test_external_dependencies_propagate_down_the_chain(self):
+        """enricher2's messages carry external deps on both upstream
+        apps, so the sink orders the whole chain correctly."""
+        eco = Ecosystem()
+        Item, SinkItem = build_chain(eco)
+        probe = eco.broker.bind("probe", "enricher2")
+        Item.create(text="hello world, this is long enough")
+        eco.drain_all()
+        messages = []
+        while True:
+            message = probe.pop()
+            if message is None:
+                break
+            messages.append(message)
+        grade_updates = [
+            m for m in messages
+            if m.operations[0]["attributes"].get("grade") is not None
+        ]
+        assert grade_updates
+        externals = grade_updates[-1].external_dependencies
+        assert any(dep.startswith("enricher1/") for dep in externals)
+
+
+class TestNestedControllers:
+    def test_inner_scope_tracks_independently(self):
+        eco = Ecosystem()
+        svc = eco.service("svc", database=MongoLike("m"))
+
+        @svc.model(publish=["n"])
+        class Thing(Model):
+            n = Field(int)
+
+        probe = eco.broker.bind("probe", "svc")
+        with svc.controller():
+            Thing.create(n=1)
+            with svc.controller():
+                # Fresh inner scope: no chaining from the outer write.
+                Thing.create(n=2)
+            Thing.create(n=3)
+        m1, m2, m3 = probe.pop(), probe.pop(), probe.pop()
+        assert "svc/things/id/1" not in m2.dependencies
+        # The outer scope's chain survived the inner scope.
+        assert "svc/things/id/1" in m3.dependencies

@@ -1,0 +1,133 @@
+"""Live schema migration rules (§4.3) and DB-swap migration (§6.5)."""
+
+import pytest
+
+from repro.core import Ecosystem
+from repro.core.bootstrap import bootstrap_subscriber
+from repro.core.migration import LiveMigrator, replicate_service
+from repro.databases.document import MongoLike, TokuMXLike
+from repro.databases.relational import PostgresLike
+from repro.errors import MigrationError
+from repro.orm import Field, Model
+
+
+@pytest.fixture
+def eco():
+    return Ecosystem()
+
+
+def build_pub(eco, db=None):
+    pub = eco.service("pub", database=db or PostgresLike("pub-db"))
+
+    @pub.model(publish=["name"])
+    class User(Model):
+        name = Field(str)
+        internal = Field(str)
+
+    return pub, User
+
+
+class TestRule1Isolation:
+    def test_dropping_published_column_requires_virtual_shadow(self, eco):
+        pub, User = build_pub(eco)
+        migrator = LiveMigrator(pub)
+        with pytest.raises(MigrationError):
+            migrator.drop_published_column(User, "name")
+
+    def test_drop_after_shadowing_keeps_subscribers_working(self, eco):
+        pub, User = build_pub(eco)
+        sub = eco.service("sub", database=MongoLike("sub-db"))
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="User")
+        class SubUser(Model):
+            name = Field(str)
+
+        migrator = LiveMigrator(pub)
+        # New storage: name derived from internal; the published surface
+        # is unchanged.
+        migrator.shadow_with_virtual(
+            User, "name", getter=lambda self: (self.internal or "").upper()
+        )
+        migrator.drop_published_column(User, "name")
+        User.create(internal="ada")
+        sub.subscriber.drain()
+        assert sub.registry["User"].all()[0].name == "ADA"
+
+    def test_unpublished_column_drops_freely(self, eco):
+        pub, User = build_pub(eco)
+        LiveMigrator(pub).drop_published_column(User, "internal")
+        assert "internal" not in User._fields
+
+
+class TestRule2TypeStability:
+    def test_published_attribute_type_frozen(self, eco):
+        pub, User = build_pub(eco)
+        with pytest.raises(MigrationError):
+            LiveMigrator(pub).change_attribute_type(User, "name", int)
+
+    def test_unpublished_attribute_type_changeable(self, eco):
+        pub, User = build_pub(eco)
+        LiveMigrator(pub).change_attribute_type(User, "internal", int)
+        assert User._fields["internal"].py_type is int
+
+    def test_unknown_field_rejected(self, eco):
+        pub, User = build_pub(eco)
+        with pytest.raises(MigrationError):
+            LiveMigrator(pub).change_attribute_type(User, "ghost", int)
+
+
+class TestRule3AdditiveEvolution:
+    def test_publish_new_attribute_then_backfill(self, eco):
+        pub, User = build_pub(eco)
+        sub = eco.service("sub", database=MongoLike("sub-db"))
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="User")
+        class SubUser(Model):
+            name = Field(str)
+            internal = Field(str)
+
+        User.create(name="ada", internal="secret")
+        sub.subscriber.drain()
+        # Publisher deploys the new attribute first (rule 3)...
+        LiveMigrator(pub).publish_new_attribute(User, "internal")
+        assert "internal" in eco.broker.published_fields("pub", "User")
+        # ...then the subscriber redeploys with the wider subscription.
+        spec = sub.subscriber.specs[("pub", "User")]
+        spec.fields["internal"] = "internal"
+        # Partial bootstrap back-fills existing objects.
+        LiveMigrator.backfill(sub, "pub")
+        assert sub.registry["User"].all()[0].internal == "secret"
+
+    def test_publishing_unknown_attribute_rejected(self, eco):
+        pub, User = build_pub(eco)
+        with pytest.raises(MigrationError):
+            LiveMigrator(pub).publish_new_attribute(User, "ghost")
+
+    def test_publish_new_attribute_idempotent(self, eco):
+        pub, User = build_pub(eco)
+        migrator = LiveMigrator(pub)
+        migrator.publish_new_attribute(User, "internal")
+        migrator.publish_new_attribute(User, "internal")
+        fields = eco.broker.published_fields("pub", "User")
+        assert fields.count("internal") == 1
+
+
+class TestCrowdtapDBSwap:
+    def test_replicate_service_mirrors_all_models_live(self, eco):
+        """§6.5: MongoDB -> TokuMX migration with no downtime."""
+        pub, User = build_pub(eco, db=MongoLike("main-mongo"))
+        for i in range(5):
+            User.create(name=f"u{i}", internal="x")
+        clone = replicate_service(eco, "pub", "pub-tokumx", TokuMXLike("toku"))
+        CloneUser = clone.registry["User"]
+        assert CloneUser.count() == 5
+        # Still synchronised while both run (dual-run QA window).
+        User.create(name="during-qa", internal="x")
+        clone.subscriber.drain()
+        assert CloneUser.count() == 6
+        # The clone's data lives on the new engine.
+        assert clone.database.engine_family == "tokumx"
+
+    def test_replicate_unknown_source_rejected(self, eco):
+        with pytest.raises(MigrationError):
+            replicate_service(eco, "ghost", "clone", MongoLike("m"))

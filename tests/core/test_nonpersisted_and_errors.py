@@ -1,0 +1,77 @@
+"""NonPersistedMapper behaviour and the exception hierarchy."""
+
+import threading
+
+import pytest
+
+from repro import errors
+from repro.broker import Message, SubscriberQueue
+from repro.core.observer import NonPersistedMapper
+from repro.orm import Field, Model, bind_model
+
+
+class TestNonPersistedMapper:
+    def make(self):
+        class Ghost(Model):
+            name = Field(str)
+
+        bind_model(Ghost, None, mapper=NonPersistedMapper())
+        return Ghost
+
+    def test_insert_assigns_ids_without_storage(self):
+        Ghost = self.make()
+        a = Ghost.create(name="a")
+        b = Ghost.create(name="b")
+        assert (a.id, b.id) == (1, 2)
+        assert Ghost.count() == 0
+        assert Ghost.where() == []
+        assert Ghost.find_by(name="a") is None
+
+    def test_update_and_delete_return_rows(self):
+        Ghost = self.make()
+        ghost = Ghost.create(name="a")
+        ghost.update(name="b")  # no storage, but no crash either
+        ghost.destroy()
+
+    def test_explicit_ids_preserved(self):
+        Ghost = self.make()
+        ghost = Ghost(name="x")
+        ghost.id = 42
+        ghost.save()
+        assert ghost.id == 42
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_domain_bases(self):
+        assert issubclass(errors.UnknownTableError, errors.DatabaseError)
+        assert issubclass(errors.SubscriptionError, errors.SynapseError)
+        assert issubclass(errors.RecordNotFound, errors.ORMError)
+        assert issubclass(errors.QueueDecommissioned, errors.BrokerError)
+
+
+class TestBlockingPop:
+    def test_pop_blocks_until_publish(self):
+        queue = SubscriberQueue("q")
+        got = []
+
+        def consumer():
+            got.append(queue.pop(timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        message = Message(app="a", operations=[], dependencies={},
+                          published_at=0.0)
+        queue.publish(message)
+        thread.join(timeout=5)
+        assert got and got[0].uid == message.uid
+
+    def test_pop_timeout_returns_none(self):
+        queue = SubscriberQueue("q")
+        assert queue.pop(timeout=0.05) is None

@@ -1,0 +1,279 @@
+"""End-to-end publish/subscribe integration (Figs 1 and 4 of the paper)."""
+
+import pytest
+
+from repro.core import Ecosystem
+from repro.databases.columnar import CassandraLike
+from repro.databases.document import MongoLike
+from repro.databases.graph import Neo4jLike
+from repro.databases.relational import MySQLLike, PostgresLike
+from repro.databases.search import ElasticsearchLike, Match
+from repro.errors import (
+    DeliveryModeError,
+    PublicationError,
+    ReadOnlyAttributeError,
+    SubscriptionError,
+    SynapseError,
+)
+from repro.orm import Field, Model
+
+
+@pytest.fixture
+def eco():
+    return Ecosystem()
+
+
+def make_publisher(eco, name="pub1", db=None, mode="causal"):
+    service = eco.service(name, database=db or MongoLike(f"{name}-db"),
+                          delivery_mode=mode)
+
+    @service.model(publish=["name"])
+    class User(Model):
+        name = Field(str)
+
+    return service, User
+
+
+def make_subscriber(eco, name="sub1", db=None, from_app="pub1", mode=None):
+    service = eco.service(name, database=db or PostgresLike(f"{name}-db"))
+    spec = {"from": from_app, "fields": ["name"]}
+    if mode is not None:
+        spec["mode"] = mode
+
+    @service.model(subscribe=spec)
+    class User(Model):
+        name = Field(str)
+
+    return service, User
+
+
+class TestFig1BasicIntegration:
+    def test_create_propagates(self, eco):
+        pub, PubUser = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        PubUser.create(name="ada")
+        assert sub.subscriber.drain() == 1
+        users = SubUser.all()
+        assert len(users) == 1
+        assert users[0].name == "ada"
+
+    def test_ids_preserved_across_services(self, eco):
+        pub, PubUser = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        user = PubUser.create(name="ada")
+        sub.subscriber.drain()
+        assert SubUser.find(user.id).name == "ada"
+
+    def test_update_propagates(self, eco):
+        pub, PubUser = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        user = PubUser.create(name="ada")
+        user.update(name="lovelace")
+        sub.subscriber.drain()
+        assert SubUser.find(user.id).name == "lovelace"
+
+    def test_delete_propagates(self, eco):
+        pub, PubUser = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        user = PubUser.create(name="ada")
+        sub.subscriber.drain()
+        user.destroy()
+        sub.subscriber.drain()
+        assert SubUser.count() == 0
+
+    def test_unpublished_fields_not_shipped(self, eco):
+        pub = eco.service("pub1", database=MongoLike("m"))
+
+        @pub.model(publish=["name"])
+        class User(Model):
+            name = Field(str)
+            secret = Field(str)
+
+        sub, SubUser = make_subscriber(eco)
+        User.create(name="ada", secret="hunter2")
+        sub.subscriber.drain()
+        queue_msg_attrs = SubUser.all()[0].to_attributes()
+        assert "secret" not in queue_msg_attrs
+
+    def test_unpublished_model_writes_produce_no_messages(self, eco):
+        pub = eco.service("pub1", database=MongoLike("m"))
+
+        @pub.model(publish=["name"])
+        class User(Model):
+            name = Field(str)
+
+        @pub.model()
+        class Internal(Model):
+            data = Field(str)
+
+        sub, SubUser = make_subscriber(eco)
+        Internal.create(data="x")
+        assert pub.publisher.messages_published == 0
+        User.create(name="a")
+        assert pub.publisher.messages_published == 1
+
+
+class TestFig4HeterogeneousFanout:
+    """One MongoDB publisher, three different subscriber engines."""
+
+    def test_fanout_to_sql_search_and_mongo(self, eco):
+        pub, PubUser = make_publisher(eco)  # MongoDB
+        sub_sql, SqlUser = make_subscriber(eco, "sub1a", PostgresLike("pg"))
+        sub_es_service = eco.service("sub1b", database=ElasticsearchLike("es"))
+
+        @sub_es_service.model(subscribe={"from": "pub1", "fields": ["name"]})
+        class User(Model):
+            __analyzers__ = {"name": "simple"}
+            name = Field(str)
+
+        sub_mongo, MongoUser = make_subscriber(eco, "sub1c", MongoLike("m2"))
+
+        PubUser.create(name="Ada Lovelace")
+        eco.drain_all()
+        assert SqlUser.count() == 1
+        assert MongoUser.count() == 1
+        es = sub_es_service.database
+        assert len(es.search("users", Match("name", "ada"))) == 1
+
+    def test_all_engine_pairs_smoke(self, eco):
+        """Table 1: every engine family can publish to every other."""
+        engines = {
+            "pg": PostgresLike("pg0"),
+            "my": MySQLLike("my0"),
+            "mongo": MongoLike("mo0"),
+            "cass": CassandraLike("ca0"),
+            "es": ElasticsearchLike("es0"),
+        }
+        pub, PubUser = make_publisher(eco, db=engines["pg"])
+        subs = []
+        for key, db in list(engines.items())[1:]:
+            subs.append(make_subscriber(eco, f"sub-{key}", db))
+        # Neo4j as subscriber too
+        subs.append(make_subscriber(eco, "sub-neo", Neo4jLike("neo0")))
+        PubUser.create(name="ada")
+        eco.drain_all()
+        for service, SubUser in subs:
+            assert SubUser.count() == 1, service.name
+
+
+class TestDeclarationChecks:
+    def test_subscribe_before_publisher_deployed_rejected(self, eco):
+        sub = eco.service("sub1", database=PostgresLike("pg"))
+        with pytest.raises(SubscriptionError):
+            @sub.model(subscribe={"from": "ghost", "fields": ["name"]})
+            class User(Model):
+                name = Field(str)
+
+    def test_subscribe_to_unpublished_attribute_rejected(self, eco):
+        make_publisher(eco)
+        sub = eco.service("sub1", database=PostgresLike("pg"))
+        with pytest.raises(SubscriptionError):
+            @sub.model(subscribe={"from": "pub1", "fields": ["name", "email"]})
+            class User(Model):
+                name = Field(str)
+                email = Field(str)
+
+    def test_publish_unknown_attribute_rejected(self, eco):
+        pub = eco.service("pub1", database=MongoLike("m"))
+        with pytest.raises(PublicationError):
+            @pub.model(publish=["nope"])
+            class User(Model):
+                name = Field(str)
+
+    def test_stronger_subscriber_mode_rejected(self, eco):
+        make_publisher(eco, mode="weak")
+        with pytest.raises(DeliveryModeError):
+            make_subscriber(eco, mode="causal")
+
+    def test_subscribed_attributes_are_read_only(self, eco):
+        make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        with pytest.raises(ReadOnlyAttributeError):
+            SubUser(name="nope")
+
+    def test_local_fields_remain_writable_on_subscriber(self, eco):
+        make_publisher(eco)
+        sub = eco.service("sub1", database=PostgresLike("pg"))
+
+        @sub.model(subscribe={"from": "pub1", "fields": ["name"]})
+        class User(Model):
+            name = Field(str)
+            note = Field(str)
+
+        # name read-only, note writable
+        user = User.find_or_initialize(1)
+        user.note = "fine"
+        with pytest.raises(ReadOnlyAttributeError):
+            user.name = "nope"
+
+    def test_duplicate_service_name_rejected(self, eco):
+        eco.service("dup")
+        with pytest.raises(SynapseError):
+            eco.service("dup")
+
+
+class TestSubscriberCallbacks:
+    def test_after_create_fires_on_remote_create(self, eco):
+        """The Fig 2 mailer pattern."""
+        make_publisher(eco)
+        sub = eco.service("mailer", database=MongoLike("mail-db"))
+        sent = []
+
+        from repro.orm import after_create
+
+        @sub.model(subscribe={"from": "pub1", "fields": ["name"]})
+        class User(Model):
+            name = Field(str)
+
+            @after_create
+            def send_welcome(self):
+                if not type(self)._service.bootstrap_active:
+                    sent.append(self.name)
+
+        pub_user_cls = eco.services["pub1"].registry["User"]
+        pub_user_cls.create(name="ada")
+        sub.subscriber.drain()
+        assert sent == ["ada"]
+
+    def test_update_callback_distinct_from_create(self, eco):
+        pub, PubUser = make_publisher(eco)
+        sub = eco.service("sub1", database=MongoLike("s-db"))
+        events = []
+
+        from repro.orm import after_create, after_update
+
+        @sub.model(subscribe={"from": "pub1", "fields": ["name"]})
+        class User(Model):
+            name = Field(str)
+
+            @after_create
+            def on_create(self):
+                events.append(("create", self.name))
+
+            @after_update
+            def on_update(self):
+                events.append(("update", self.name))
+
+        user = PubUser.create(name="a")
+        user.update(name="b")
+        sub.subscriber.drain()
+        assert events == [("create", "a"), ("update", "b")]
+
+
+class TestMessageFormat:
+    def test_fig6b_wire_format(self, eco):
+        """Messages carry app, operations (with type chain), dependencies,
+        published_at and generation — the Fig 6(b) schema."""
+        pub, PubUser = make_publisher(eco)
+        queue = eco.broker.bind("inspector", "pub1")
+        PubUser.create(name="ada")
+        message = queue.pop()
+        assert message.app == "pub1"
+        op = message.operations[0]
+        assert op["operation"] == "create"
+        assert op["types"] == ["User"]
+        assert op["id"] == 1
+        assert op["attributes"] == {"name": "ada"}
+        assert message.dependencies == {"pub1/users/id/1": 0}
+        assert message.generation == 1
+        assert message.published_at > 0

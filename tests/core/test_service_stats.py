@@ -1,0 +1,43 @@
+"""Service.stats(): the operational counter surface."""
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.orm import Field, Model
+
+
+class TestServiceStats:
+    def test_counters_track_traffic(self):
+        eco = Ecosystem()
+        pub = eco.service("pub", database=MongoLike("p"))
+
+        @pub.model(publish=["name"])
+        class User(Model):
+            name = Field(str)
+
+        sub = eco.service("sub", database=PostgresLike("s"))
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="User")
+        class SubUser(Model):
+            name = Field(str)
+
+        for i in range(5):
+            User.create(name=f"u{i}")
+        pub_stats = pub.stats()
+        assert pub_stats["messages_published"] == 5
+        assert pub_stats["publish_overhead_mean_ms"] > 0
+        sub_stats = sub.stats()
+        assert sub_stats["queue_depth"] == 5
+        sub.subscriber.drain()
+        sub_stats = sub.stats()
+        assert sub_stats["messages_processed"] == 5
+        assert sub_stats["queue_depth"] == 0
+        assert sub_stats["generation"] == 1
+        assert not sub_stats["bootstrapping"]
+
+    def test_stats_for_publisher_only_service(self):
+        eco = Ecosystem()
+        svc = eco.service("solo", database=MongoLike("m"))
+        stats = svc.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["messages_published"] == 0

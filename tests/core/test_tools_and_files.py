@@ -1,0 +1,62 @@
+"""Publisher files (§3.1) and topology tooling."""
+
+import json
+
+from repro.core import Ecosystem
+from repro.core.tools import publisher_file, to_dot
+from repro.databases.document import MongoLike
+from repro.orm import Field, Model
+
+
+def build():
+    eco = Ecosystem()
+    pub = eco.service("pub", database=MongoLike("p"), delivery_mode="causal")
+
+    @pub.model(publish=["name", "email"])
+    class User(Model):
+        name = Field(str)
+        email = Field(str)
+
+    @pub.model(publish=["body"])
+    class Post(Model):
+        body = Field(str)
+
+    return eco, pub
+
+
+class TestPublisherFile:
+    def test_lists_models_and_attributes(self):
+        eco, pub = build()
+        doc = publisher_file(pub)
+        assert doc["app"] == "pub"
+        assert doc["delivery_mode"] == "causal"
+        assert doc["models"]["User"]["uri"] == "pub/User"
+        assert doc["models"]["User"]["attributes"] == ["name", "email"]
+        assert doc["models"]["Post"]["types"] == ["Post"]
+
+    def test_json_serialisable(self):
+        eco, pub = build()
+        round_tripped = json.loads(json.dumps(publisher_file(pub)))
+        assert round_tripped["models"]["User"]["attributes"] == ["name", "email"]
+
+    def test_subscriber_can_validate_against_file(self):
+        """A subscriber team checks its field list against the file
+        before deploying (the §4.5 workflow)."""
+        eco, pub = build()
+        doc = publisher_file(pub)
+        wanted = {"name", "email"}
+        assert wanted <= set(doc["models"]["User"]["attributes"])
+
+
+class TestDotExport:
+    def test_nodes_for_every_service(self):
+        eco, pub = build()
+        sub = eco.service("sub", database=MongoLike("s"))
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="User")
+        class SubUser(Model):
+            name = Field(str)
+
+        dot = to_dot(eco)
+        assert '"pub"' in dot and '"sub"' in dot
+        assert dot.count("->") == 1

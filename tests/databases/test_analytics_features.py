@@ -1,0 +1,169 @@
+"""Analytics extensions: SQL GROUP BY, Mongo pipelines, search prefix/
+phrase queries, graph link features."""
+
+import pytest
+
+from repro.databases.document import MongoLike
+from repro.databases.graph import Neo4jLike
+from repro.databases.relational import (
+    Col,
+    Column,
+    Index,
+    Integer,
+    PostgresLike,
+    TableSchema,
+    Text,
+)
+from repro.databases.search import ElasticsearchLike
+from repro.databases.search.query import Phrase, Prefix
+from repro.errors import DatabaseError, UnsupportedOperationError
+
+
+class TestRelationalAggregation:
+    @pytest.fixture
+    def db(self):
+        database = PostgresLike("pg")
+        database.create_table(
+            TableSchema(
+                "orders",
+                [Column("region", Text()), Column("total", Integer())],
+                indexes=[Index("by_region", ["region"])],
+            )
+        )
+        for region, total in [("us", 10), ("us", 20), ("eu", 5), ("eu", None)]:
+            database.insert("orders", {"region": region, "total": total})
+        return database
+
+    def test_group_by_with_aggregates(self, db):
+        rows = db.aggregate(
+            "orders",
+            group_by="region",
+            aggregates={
+                "n": ("count", "*"),
+                "n_totals": ("count", "total"),
+                "sum": ("sum", "total"),
+                "avg": ("avg", "total"),
+                "max": ("max", "total"),
+            },
+        )
+        by_region = {r["region"]: r for r in rows}
+        assert by_region["us"] == {"region": "us", "n": 2, "n_totals": 2,
+                                   "sum": 30, "avg": 15.0, "max": 20}
+        assert by_region["eu"]["n"] == 2
+        assert by_region["eu"]["n_totals"] == 1
+        assert by_region["eu"]["sum"] == 5
+
+    def test_global_aggregate_with_where(self, db):
+        rows = db.aggregate("orders", aggregates={"total": ("sum", "total")},
+                            where=Col("region") == "us")
+        assert rows == [{"total": 30}]
+
+    def test_empty_group(self, db):
+        rows = db.aggregate("orders", group_by="region",
+                            aggregates={"m": ("min", "total")},
+                            where=Col("region") == "nowhere")
+        assert rows == []
+
+    def test_unknown_aggregate_rejected(self, db):
+        with pytest.raises(UnsupportedOperationError):
+            db.aggregate("orders", aggregates={"x": ("median", "total")})
+
+    def test_explain_paths(self, db):
+        assert db.explain("orders", Col("id") == 3)["access"] == "primary_key"
+        plan = db.explain("orders", Col("region") == "us")
+        assert plan == {"access": "index_lookup", "index": "by_region",
+                        "columns": ["region"]}
+        assert db.explain("orders", Col("total") > 5)["access"] == "full_scan"
+
+
+class TestDocumentPipeline:
+    @pytest.fixture
+    def db(self):
+        database = MongoLike("m")
+        docs = [
+            {"kind": "click", "n": 3, "tags": ["a", "b"]},
+            {"kind": "click", "n": 1, "tags": ["a"]},
+            {"kind": "search", "n": 10, "tags": []},
+        ]
+        for doc in docs:
+            database.insert_one("events", doc)
+        return database
+
+    def test_match_group_sort(self, db):
+        out = db.aggregate("events", [
+            {"$match": {"n": {"$gt": 0}}},
+            {"$group": {"_id": "$kind", "count": {"$sum": 1},
+                        "total": {"$sum": "$n"}}},
+            {"$sort": {"total": -1}},
+        ])
+        assert out == [
+            {"_id": "search", "count": 1, "total": 10},
+            {"_id": "click", "count": 2, "total": 4},
+        ]
+
+    def test_unwind(self, db):
+        out = db.aggregate("events", [
+            {"$unwind": "$tags"},
+            {"$group": {"_id": "$tags", "count": {"$sum": 1}}},
+            {"$sort": {"count": -1, "_id": 1}},
+        ])
+        assert out[0] == {"_id": "a", "count": 2}
+
+    def test_limit(self, db):
+        assert len(db.aggregate("events", [{"$limit": 2}])) == 2
+
+    def test_group_avg_min_max(self, db):
+        out = db.aggregate("events", [
+            {"$group": {"_id": None, "avg": {"$avg": "$n"},
+                        "min": {"$min": "$n"}, "max": {"$max": "$n"}}},
+        ])
+        assert out == [{"_id": None, "avg": pytest.approx(14 / 3),
+                        "min": 1, "max": 10}]
+
+    def test_bad_stage_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.aggregate("events", [{"$lookup": {}}])
+        with pytest.raises(DatabaseError):
+            db.aggregate("events", [{"$match": {}, "$limit": 1}])
+
+    def test_distinct(self, db):
+        assert db.distinct("events", "kind") == ["click", "search"]
+        assert db.distinct("events", "tags") == ["a", "b"]
+        assert db.distinct("events", "kind", {"n": {"$gt": 5}}) == ["search"]
+
+
+class TestSearchExtensions:
+    @pytest.fixture
+    def db(self):
+        database = ElasticsearchLike("es")
+        database.create_index("products")
+        database.index_doc("products", {"_id": 1, "name": "coffee grinder deluxe"})
+        database.index_doc("products", {"_id": 2, "name": "coffee maker"})
+        database.index_doc("products", {"_id": 3, "name": "tea kettle"})
+        return database
+
+    def test_prefix_query(self, db):
+        hits = db.search("products", Prefix("name", "coff"))
+        assert {h[0]["_id"] for h in hits} == {1, 2}
+        assert db.search("products", Prefix("name", "zzz")) == []
+
+    def test_phrase_requires_all_tokens(self, db):
+        hits = db.search("products", Phrase("name", "coffee grinder"))
+        assert [h[0]["_id"] for h in hits] == [1]
+        assert db.search("products", Phrase("name", "coffee kettle")) == []
+        assert db.search("products", Phrase("name", "")) == []
+
+
+class TestGraphLinkFeatures:
+    def test_degree_and_common_neighbours(self):
+        db = Neo4jLike("g")
+        for i in range(1, 6):
+            db.create_node("User", {"id": i})
+        db.create_edge(1, "friend", 3, directed=False)
+        db.create_edge(1, "friend", 4, directed=False)
+        db.create_edge(2, "friend", 3, directed=False)
+        db.create_edge(2, "friend", 5, directed=False)
+        assert db.degree(1, "friend") == 2
+        assert db.degree(3, "friend", direction="in") == 2
+        assert db.common_neighbours(1, 2, "friend") == {3}
+        assert db.common_neighbours(4, 5, "friend") == set()

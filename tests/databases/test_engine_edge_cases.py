@@ -1,0 +1,134 @@
+"""Edge-case coverage across engines: mixed-type sorting, projections,
+analyzer management, graph updates, missing-target operations."""
+
+import pytest
+
+from repro.databases.document import MongoLike, TokuMXLike
+from repro.databases.graph import Neo4jLike
+from repro.databases.relational import (
+    Col,
+    Column,
+    Integer,
+    PostgresLike,
+    TableSchema,
+    Text,
+)
+from repro.databases.search import ElasticsearchLike, Term
+from repro.errors import SchemaError, UnknownTableError
+
+
+class TestDocumentEdges:
+    def test_sort_with_mixed_types_is_total(self):
+        db = MongoLike("m")
+        for value in [3, "b", None, 1.5, True, {"x": 1}]:
+            db.insert_one("c", {"v": value})
+        docs = db.find("c", sort=("v", 1))
+        assert len(docs) == 6  # no TypeError; deterministic order
+
+    def test_update_many_inside_transaction_rolls_back(self):
+        db = TokuMXLike("t")
+        db.insert_one("c", {"g": 1, "n": 0})
+        db.insert_one("c", {"g": 1, "n": 0})
+        with pytest.raises(RuntimeError):
+            with db.begin():
+                db.update_many("c", {"g": 1}, {"$set": {"n": 9}})
+                raise RuntimeError("boom")
+        assert all(d["n"] == 0 for d in db.find("c"))
+
+    def test_delete_many(self):
+        db = MongoLike("m")
+        for i in range(4):
+            db.insert_one("c", {"n": i})
+        removed = db.delete_many("c", {"n": {"$lt": 2}})
+        assert len(removed) == 2
+        assert db.count("c") == 2
+
+    def test_collection_management(self):
+        db = MongoLike("m")
+        db.insert_one("a", {})
+        db.insert_one("b", {})
+        assert db.collection_names() == ["a", "b"]
+        db.drop_collection("a")
+        assert db.collection_names() == ["b"]
+
+
+class TestSearchEdges:
+    def test_set_analyzer_after_creation(self):
+        db = ElasticsearchLike("e")
+        db.create_index("docs")
+        db.set_analyzer("docs", "tag", "keyword")
+        db.index_doc("docs", {"tag": "New York"})
+        assert db.search("docs", Term("tag", "New York"))
+
+    def test_set_unknown_analyzer_rejected(self):
+        db = ElasticsearchLike("e")
+        db.create_index("docs")
+        with pytest.raises(SchemaError):
+            db.set_analyzer("docs", "tag", "martian")
+
+    def test_delete_missing_doc_is_noop(self):
+        db = ElasticsearchLike("e")
+        db.create_index("docs")
+        assert db.delete_doc("docs", 99) is None
+
+    def test_index_names_and_missing_index(self):
+        db = ElasticsearchLike("e")
+        db.create_index("one")
+        assert db.index_names() == ["one"]
+        with pytest.raises(UnknownTableError):
+            db.delete_doc("ghost", 1)
+
+
+class TestRelationalEdges:
+    def test_select_from_missing_table(self):
+        db = PostgresLike("p")
+        with pytest.raises(UnknownTableError):
+            db.select("nope")
+
+    def test_offset_beyond_data(self):
+        db = PostgresLike("p")
+        db.create_table(TableSchema("t", [Column("x", Integer())]))
+        db.insert("t", {"x": 1})
+        assert db.select("t", offset=10) == []
+
+    def test_update_missing_rows_returns_zero(self):
+        db = PostgresLike("p")
+        db.create_table(TableSchema("t", [Column("x", Integer())]))
+        assert db.update("t", Col("x") == 99, {"x": 1}) == 0
+        assert db.delete("t", Col("x") == 99) == 0
+
+    def test_drop_index(self):
+        from repro.databases.relational import Index
+
+        db = PostgresLike("p")
+        db.create_table(
+            TableSchema("t", [Column("x", Text())],
+                        indexes=[Index("ix", ["x"])])
+        )
+        db.insert("t", {"x": "a"})
+        db.drop_index("t", "ix")
+        db.stats.reset()
+        assert db.select("t", where=Col("x") == "a")
+        assert db.stats.scans == 1  # back to scanning
+
+
+class TestGraphEdges:
+    def test_get_missing_node(self):
+        db = Neo4jLike("g")
+        assert db.get_node(99) is None
+        assert db.delete_node(99) is None
+
+    def test_count_edges_by_type(self):
+        db = Neo4jLike("g")
+        a = db.create_node("N", {})
+        b = db.create_node("N", {})
+        db.create_edge(a["id"], "x", b["id"])
+        db.create_edge(a["id"], "y", b["id"])
+        assert db.count_edges("x") == 1
+        assert db.count_edges() == 2
+
+    def test_find_nodes_empty_label(self):
+        db = Neo4jLike("g")
+        assert db.find_nodes("Ghost") == []
+        assert db.count_nodes("Ghost") == 0
+        assert db.count_nodes() == 0

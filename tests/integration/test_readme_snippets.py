@@ -1,0 +1,19 @@
+"""Guard: the README quickstart code runs exactly as printed."""
+
+import os
+import re
+
+
+def extract_python_blocks(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_block_executes(self):
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        blocks = extract_python_blocks(os.path.join(root, "README.md"))
+        assert blocks, "README lost its quickstart code block"
+        # The first python block is the quickstart; it must run clean.
+        exec(compile(blocks[0], "README.md", "exec"), {})

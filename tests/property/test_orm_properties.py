@@ -1,0 +1,81 @@
+"""Property tests: model attribute round-trips across every engine."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.databases.columnar import CassandraLike
+from repro.databases.document import MongoLike
+from repro.databases.graph import Neo4jLike
+from repro.databases.relational import MySQLLike, PostgresLike
+from repro.databases.search import ElasticsearchLike
+from repro.orm import Field, Model, bind_model
+
+ENGINE_FACTORIES = [
+    lambda: PostgresLike("pg"),
+    lambda: MySQLLike("my"),
+    lambda: MongoLike("mo"),
+    lambda: CassandraLike("ca"),
+    lambda: ElasticsearchLike("es"),
+    lambda: Neo4jLike("ne"),
+]
+
+attr_values = st.fixed_dictionaries(
+    {
+        "title": st.text(max_size=20),
+        "score": st.integers(min_value=-10**6, max_value=10**6),
+        "ratio": st.floats(allow_nan=False, allow_infinity=False,
+                           min_value=-1e6, max_value=1e6),
+        "flag": st.booleans(),
+        "tags": st.lists(st.text(max_size=5), max_size=4),
+    }
+)
+
+
+def make_model(db):
+    class Record(Model):
+        title = Field(str)
+        score = Field(int)
+        ratio = Field(float)
+        flag = Field(bool)
+        tags = Field(list, default=list)
+
+    bind_model(Record, db)
+    return Record
+
+
+class TestRoundTrip:
+    @given(attrs=attr_values, engine_idx=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=120, deadline=None)
+    def test_create_read_roundtrip(self, attrs, engine_idx):
+        Record = make_model(ENGINE_FACTORIES[engine_idx]())
+        record = Record.create(**attrs)
+        fetched = Record.find(record.id)
+        for name, value in attrs.items():
+            got = getattr(fetched, name)
+            if isinstance(value, float):
+                assert got == value or abs(got - value) < 1e-9
+            else:
+                assert got == value, (name, got, value)
+
+    @given(attrs=attr_values, new_attrs=attr_values,
+           engine_idx=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=80, deadline=None)
+    def test_update_roundtrip(self, attrs, new_attrs, engine_idx):
+        Record = make_model(ENGINE_FACTORIES[engine_idx]())
+        record = Record.create(**attrs)
+        record.update(**new_attrs)
+        fetched = Record.find(record.id)
+        assert fetched.title == new_attrs["title"]
+        assert fetched.score == new_attrs["score"]
+        assert fetched.tags == new_attrs["tags"]
+
+    @given(batch=st.lists(attr_values, min_size=1, max_size=10),
+           engine_idx=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_count_and_all_consistent(self, batch, engine_idx):
+        Record = make_model(ENGINE_FACTORIES[engine_idx]())
+        for attrs in batch:
+            Record.create(**attrs)
+        assert Record.count() == len(batch)
+        assert len(Record.all()) == len(batch)
+        assert sorted(r.id for r in Record.all()) == list(range(1, len(batch) + 1))

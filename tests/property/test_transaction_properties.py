@@ -1,0 +1,75 @@
+"""Property: transactional all-or-nothing replication (§4.2)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.orm import Field, Model
+
+txn_scripts = st.lists(
+    st.tuples(
+        st.booleans(),  # commit (True) or abort (False)
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3),  # slot
+                      st.integers(min_value=0, max_value=99)),  # value
+            min_size=1, max_size=5,
+        ),
+    ),
+    min_size=1, max_size=8,
+)
+
+
+def build():
+    eco = Ecosystem()
+    pub = eco.service("pub", database=PostgresLike("pub-db"))
+
+    @pub.model(publish=["n"], name="Slot")
+    class Slot(Model):
+        n = Field(int)
+
+    sub = eco.service("sub", database=MongoLike("sub-db"))
+
+    @sub.model(subscribe={"from": "pub", "fields": ["n"]}, name="Slot")
+    class SubSlot(Model):
+        n = Field(int)
+
+    return eco, pub, Slot, sub, sub.registry["Slot"]
+
+
+class TestTransactionalReplication:
+    @given(scripts=txn_scripts)
+    @settings(max_examples=40, deadline=None)
+    def test_only_committed_transactions_replicate(self, scripts):
+        eco, pub, Slot, sub, SubSlot = build()
+        live = {}
+        committed_txns = 0
+        for commit, writes in scripts:
+            txn = pub.database.begin()
+            try:
+                for slot, value in writes:
+                    if slot in live:
+                        live[slot].update(n=value)
+                    else:
+                        live[slot] = Slot.create(n=value)
+                if commit:
+                    txn.commit()
+                    committed_txns += 1
+                else:
+                    txn.rollback()
+                    # Forget local handles from the aborted transaction;
+                    # reload survivors from the DB.
+                    live = {
+                        slot: obj for slot, obj in live.items()
+                        if pub.database.get("slots", obj.id) is not None
+                    }
+                    for obj in live.values():
+                        obj.reload()
+            except Exception:
+                raise
+        assert pub.publisher.messages_published == committed_txns
+        sub.subscriber.drain()
+        pub_state = {s.id: s.n for s in Slot.all()}
+        sub_state = {s.id: s.n for s in SubSlot.all()}
+        assert sub_state == pub_state

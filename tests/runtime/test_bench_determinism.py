@@ -1,0 +1,33 @@
+"""Determinism guard for the benchmark harness: same seed, same results."""
+
+from repro.core import Ecosystem
+from repro.runtime.simulation import SimMessage, capture_messages, simulate_subscriber
+from repro.workloads import SocialWorkload, build_social_publisher
+
+
+def capture(seed):
+    eco = Ecosystem()
+    service, User, Post, Comment = build_social_publisher(eco, ephemeral=True)
+    drain = capture_messages(eco, "social")
+    workload = SocialWorkload(service, User, Post, Comment, users=20, seed=seed)
+    workload.run(100)
+    return [SimMessage.from_message(m, "causal") for m in drain()]
+
+
+class TestDeterminism:
+    def test_same_seed_same_dependency_structure(self):
+        a = capture(seed=5)
+        b = capture(seed=5)
+        assert [m.deps for m in a] == [m.deps for m in b]
+
+    def test_different_seed_different_structure(self):
+        a = capture(seed=5)
+        b = capture(seed=6)
+        assert [m.deps for m in a] != [m.deps for m in b]
+
+    def test_simulation_is_deterministic(self):
+        messages = capture(seed=5)
+        r1 = simulate_subscriber(messages, workers=8, service_time=0.01)
+        r2 = simulate_subscriber(messages, workers=8, service_time=0.01)
+        assert r1.throughput == r2.throughput
+        assert r1.completion_times == r2.completion_times

@@ -1,0 +1,95 @@
+"""Detailed simulator semantics: arrivals, completion times, ceilings."""
+
+import pytest
+
+from repro.runtime.simulation import (
+    DBCeiling,
+    SimMessage,
+    simulate_pipeline,
+    simulate_subscriber,
+)
+
+
+class TestArrivalsAndCompletions:
+    def test_completion_times_reported_ascending(self):
+        messages = [SimMessage(seq=i) for i in range(10)]
+        result = simulate_subscriber(messages, workers=3, service_time=0.1)
+        assert len(result.completion_times) == 10
+        assert result.completion_times == sorted(result.completion_times)
+        assert result.total_time == pytest.approx(result.completion_times[-1])
+
+    def test_arrival_gating_delays_processing(self):
+        messages = [SimMessage(seq=i) for i in range(4)]
+        spread = simulate_subscriber(
+            messages, workers=4, service_time=0.1,
+            arrival_times=[0.0, 1.0, 2.0, 3.0],
+        )
+        assert spread.total_time == pytest.approx(3.1)
+        backlog = simulate_subscriber(messages, workers=4, service_time=0.1)
+        assert backlog.total_time == pytest.approx(0.1)
+
+    def test_mismatched_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_subscriber([SimMessage(seq=1)], workers=1,
+                                service_time=0.1, arrival_times=[0.0, 1.0])
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_subscriber([], workers=0, service_time=0.1)
+
+    def test_dep_wait_measured(self):
+        messages = [
+            SimMessage(seq=1, deps={}),
+            SimMessage(seq=2, deps={"x": 1}),  # waits for seq 1's bump
+        ]
+        messages[0].deps = {"x": 0}
+        result = simulate_subscriber(messages, workers=2, service_time=0.5)
+        assert result.mean_dep_wait > 0
+
+
+class TestCeilingSemantics:
+    def test_db_slot_held_only_for_op_time(self):
+        """The callback runs outside the engine: 1 DB slot at 10 ms ops
+        caps throughput at 100/s even with a 100 ms callback and many
+        workers."""
+        messages = [SimMessage(seq=i) for i in range(500)]
+        result = simulate_subscriber(
+            messages, workers=50, service_time=0.1,
+            db=DBCeiling(capacity=1, op_time=0.01),
+        )
+        assert result.throughput == pytest.approx(100.0, rel=0.1)
+
+    def test_workers_bind_before_db_when_scarce(self):
+        messages = [SimMessage(seq=i) for i in range(50)]
+        result = simulate_subscriber(
+            messages, workers=2, service_time=0.1,
+            db=DBCeiling(capacity=100, op_time=0.001),
+        )
+        assert result.throughput == pytest.approx(2 / 0.101, rel=0.1)
+
+    def test_pipeline_total_includes_both_stages(self):
+        messages = [SimMessage(seq=i) for i in range(20)]
+        result = simulate_pipeline(
+            messages, workers=1, publish_time=0.05, subscribe_time=0.05
+        )
+        # Single worker each side, pipelined: ~20 * 0.05 + one hop.
+        assert result.total_time == pytest.approx(20 * 0.05 + 0.05, rel=0.05)
+
+    def test_from_message_projection_modes(self):
+        from repro.broker.message import Message
+
+        message = Message(
+            app="pub",
+            operations=[{"operation": "update", "types": ["User"], "id": 1,
+                         "attributes": {}}],
+            dependencies={"__global__": 5, "pub/users/id/1": 2,
+                          "pub/posts/id/9": 1},
+            published_at=0.0,
+        )
+        causal = SimMessage.from_message(message, "causal")
+        assert "__global__" not in causal.deps
+        assert causal.deps["pub/users/id/1"] == 2
+        glob = SimMessage.from_message(message, "global")
+        assert glob.deps["__global__"] == 5
+        weak = SimMessage.from_message(message, "weak")
+        assert weak.deps == {}
