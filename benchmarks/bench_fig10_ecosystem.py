@@ -8,7 +8,7 @@ from __future__ import annotations
 import random
 import time
 
-from benchmarks.common import emit, format_table
+from benchmarks.common import emit, format_metrics, format_table
 from repro.apps.crowdtap import build_crowdtap_ecosystem
 from repro.runtime.workers import WorkerFleet
 
@@ -53,6 +53,7 @@ def run_ecosystem(workers_per_service: int):
         "published": published,
         "processed": processed,
         "amplification": processed / REQUESTS,
+        "metrics": ct.eco.metrics,
     }
 
 
@@ -75,6 +76,10 @@ def test_fig10_ecosystem_throughput(benchmark):
         ["workers/service", "publish req/s", "end-to-end req/s",
          "msgs published", "msgs processed", "fan-out per request"],
         rows,
+    ))
+    emit(format_metrics(
+        "Broker counters, 4-worker run (MetricsRegistry snapshot)",
+        results[4]["metrics"], prefix="broker.",
     ))
     for result in results.values():
         # Each request publishes 1-3 messages that fan out to multiple

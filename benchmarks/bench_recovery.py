@@ -14,7 +14,6 @@ from repro.core import Ecosystem
 from repro.core.bootstrap import bootstrap_subscriber
 from repro.databases.document import MongoLike
 from repro.databases.relational import PostgresLike
-from repro.errors import QueueDecommissioned
 from repro.orm import Field, Model
 
 DATASET = 2000

@@ -48,6 +48,24 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def format_metrics(title: str, registry, prefix: str = "") -> List[str]:
+    """Render a :class:`MetricsRegistry` snapshot as a report section.
+
+    Counters print their value; histograms print count/mean/p99 (ms).
+    """
+    lines = [f"== {title} =="]
+    for name, value in registry.snapshot(prefix=prefix).items():
+        if isinstance(value, dict):
+            rendered = (
+                f"count={value['count']} mean={value['mean'] * 1000:.3f}ms "
+                f"p99={value['p99'] * 1000:.3f}ms"
+            )
+        else:
+            rendered = str(value)
+        lines.append(f"{name:<40} {rendered}")
+    return lines
+
+
 def drain_probe(queue) -> list:
     """Pop-and-ack everything from a probe queue."""
     out = []

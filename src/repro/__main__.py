@@ -5,12 +5,66 @@ Commands:
         run one of the example scenarios
     topology social|crowdtap [--dot]
         print the service topology (optionally GraphViz DOT)
+    metrics [--trace]
+        run a small publisher->subscriber scenario and print the
+        MetricsRegistry snapshot; with --trace, also print the
+        per-stage spans of one end-to-end traced message
     version
 """
 
 from __future__ import annotations
 
 import sys
+
+
+def _metrics_command(with_trace: bool) -> int:
+    """Drive one publisher write through the full pipeline and print the
+    registry snapshot (and, with ``--trace``, the per-stage spans)."""
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+    from repro.runtime.tracing import format_trace
+
+    eco = Ecosystem()
+    if with_trace:
+        eco.enable_tracing()
+    pub = eco.service("pub", database=MongoLike("pub-db"))
+
+    @pub.model(publish=["name"], name="User")
+    class User(Model):
+        name = Field(str)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="User")
+    class SubUser(Model):
+        name = Field(str)
+
+    with pub.controller():
+        for i in range(5):
+            User.create(name=f"user-{i}")
+    sub.subscriber.drain()
+
+    print("MetricsRegistry snapshot (pub -> sub, 5 writes)")
+    for name, value in eco.metrics.snapshot().items():
+        if isinstance(value, dict):
+            rendered = (
+                f"count={value['count']} mean={value['mean'] * 1000:.3f}ms "
+                f"p99={value['p99'] * 1000:.3f}ms"
+            )
+        else:
+            rendered = str(value)
+        print(f"  {name:<36} {rendered}")
+    if with_trace:
+        trace = eco.tracer.last()
+        print()
+        if trace is None:
+            print("no finished traces recorded")
+            return 1
+        for line in format_trace(trace):
+            print(line)
+    return 0
 
 
 def main(argv: list) -> int:
@@ -52,6 +106,8 @@ def main(argv: list) -> int:
             return 1
         module.main()
         return 0
+    if command == "metrics":
+        return _metrics_command("--trace" in args)
     if command == "topology":
         from repro.core.tools import describe_ecosystem, to_dot
 

@@ -10,6 +10,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.broker.message import Message
 from repro.broker.queue import SubscriberQueue
 from repro.errors import BrokerError
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import STAGE_ROUTE, trace_now
 
 
 class Broker:
@@ -25,7 +27,12 @@ class Broker:
     the RabbitMQ-upgrade incident of §6.5.
     """
 
-    def __init__(self, default_queue_limit: Optional[int] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        default_queue_limit: Optional[int] = None,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._queues: Dict[str, SubscriberQueue] = {}
         #: subscriber app -> set of publisher apps it listens to
         self._bindings: Dict[str, Set[str]] = {}
@@ -37,8 +44,21 @@ class Broker:
         self._rng = random.Random(seed)
         self.loss_probability = 0.0
         self._drop_next = 0
-        self.dropped_messages = 0
-        self.total_routed = 0
+        #: Shared with the owning ecosystem (an ecosystem adopting a
+        #: pre-built broker adopts this registry).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Registry-backed atomic counters: concurrent publishers used to
+        # bump plain ints outside self._lock and lose increments.
+        self._dropped = self.metrics.counter("broker.dropped")
+        self._routed = self.metrics.counter("broker.routed")
+
+    @property
+    def dropped_messages(self) -> int:
+        return self._dropped.value
+
+    @property
+    def total_routed(self) -> int:
+        return self._routed.value
 
     # -- publisher metadata ("publisher files") ------------------------------
 
@@ -109,10 +129,17 @@ class Broker:
             ]
         for queue in targets:
             if self._should_drop():
-                self.dropped_messages += 1
+                self._dropped.increment()
                 continue
-            queue.publish(message.copy())
-            self.total_routed += 1
+            if message.trace is None:
+                queue.publish(message.copy())
+            else:
+                start = trace_now()
+                copy = message.copy()
+                queue.publish(copy)
+                if copy.trace is not None:
+                    copy.trace.add(STAGE_ROUTE, start, trace_now() - start)
+            self._routed.increment()
 
     # -- fault injection -----------------------------------------------------------
 

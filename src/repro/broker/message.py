@@ -14,6 +14,8 @@ import json
 import threading
 from typing import Any, Dict, List, Optional
 
+from repro.runtime.tracing import Trace
+
 _seq = itertools.count(1)
 _seq_lock = threading.Lock()
 
@@ -31,6 +33,7 @@ class Message:
         bootstrap: bool = False,
         external_dependencies: Optional[Dict[str, int]] = None,
         uid: Optional[str] = None,
+        trace: Optional[Trace] = None,
     ) -> None:
         with _seq_lock:
             self.seq = next(_seq)  # broker-side FIFO tiebreaker
@@ -46,21 +49,26 @@ class Message:
         self.generation = generation
         #: Marks messages produced by the bulk phase of a bootstrap (§4.4).
         self.bootstrap = bootstrap
+        #: End-to-end trace context; None unless the ecosystem tracer is
+        #: enabled. Serialised with the payload so it survives the wire
+        #: round trip of :meth:`copy`.
+        self.trace = trace
         self.delivery_count = 0
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "uid": self.uid,
-                "app": self.app,
-                "operations": self.operations,
-                "dependencies": self.dependencies,
-                "external_dependencies": self.external_dependencies,
-                "published_at": self.published_at,
-                "generation": self.generation,
-                "bootstrap": self.bootstrap,
-            }
-        )
+        payload = {
+            "uid": self.uid,
+            "app": self.app,
+            "operations": self.operations,
+            "dependencies": self.dependencies,
+            "external_dependencies": self.external_dependencies,
+            "published_at": self.published_at,
+            "generation": self.generation,
+            "bootstrap": self.bootstrap,
+        }
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_dict()
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, payload: str) -> "Message":
@@ -74,6 +82,7 @@ class Message:
             bootstrap=data.get("bootstrap", False),
             external_dependencies=data.get("external_dependencies"),
             uid=data.get("uid"),
+            trace=Trace.from_dict(data["trace"]) if data.get("trace") else None,
         )
 
     def copy(self) -> "Message":

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 
 from repro.broker.message import Message
 from repro.errors import BrokerError, QueueDecommissioned
+from repro.runtime.tracing import MARK_ACKED, MARK_ENQUEUED, STAGE_DWELL, trace_now
 
 
 class SubscriberQueue:
@@ -36,6 +37,8 @@ class SubscriberQueue:
         with self._lock:
             if self.decommissioned:
                 return  # dropped: the subscriber is out of the ecosystem
+            if message.trace is not None:
+                message.trace.mark(MARK_ENQUEUED)
             self._items.append(message)
             self.total_published += 1
             if self.max_size is not None and len(self._items) > self.max_size:
@@ -70,6 +73,11 @@ class SubscriberQueue:
             message = self._items.popleft()
             message.delivery_count += 1
             self._unacked[message.seq] = message
+            if message.trace is not None:
+                # Queue dwell: enqueue (or last redelivery) to this pop.
+                enqueued = message.trace.marks.get(MARK_ENQUEUED)
+                if enqueued is not None:
+                    message.trace.add(STAGE_DWELL, enqueued, trace_now() - enqueued)
             return message
 
     def ack(self, message: Message) -> None:
@@ -78,12 +86,16 @@ class SubscriberQueue:
                 raise BrokerError(f"ack of unknown delivery {message.seq}")
             del self._unacked[message.seq]
             self.total_acked += 1
+            if message.trace is not None:
+                message.trace.mark(MARK_ACKED)
 
     def nack(self, message: Message) -> None:
         """Return an unacked message to the front of the queue."""
         with self._lock:
             if message.seq in self._unacked:
                 del self._unacked[message.seq]
+                if message.trace is not None:
+                    message.trace.mark(MARK_ENQUEUED)  # dwell restarts
                 self._items.appendleft(message)
                 self._available.notify_all()
 

@@ -43,6 +43,8 @@ from repro.databases.kv import RedisLike
 from repro.errors import DecoratorViolation, PublicationError, SynapseError
 from repro.orm.mapper import mapper_for
 from repro.orm.model import Model, bind_model
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.tracing import Tracer
 from repro.versionstore import (
     DependencyHasher,
     PublisherVersionStore,
@@ -61,12 +63,32 @@ class Ecosystem:
         hasher: Optional[DependencyHasher] = None,
         queue_limit: Optional[int] = None,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        self.broker = broker or Broker(default_queue_limit=queue_limit, seed=seed)
+        # One metrics registry per ecosystem; a pre-built broker brings
+        # its own registry and the ecosystem adopts it so ``broker.*``
+        # counters land in the same snapshot as everything else.
+        if metrics is not None:
+            self.metrics = metrics
+        elif broker is not None:
+            self.metrics = broker.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.broker = broker or Broker(
+            default_queue_limit=queue_limit, seed=seed, metrics=self.metrics
+        )
         self.clock = clock or DEFAULT_CLOCK
         self.hasher = hasher or DependencyHasher()
         self.generations = GenerationAuthority()
+        #: End-to-end pipeline tracing; off by default (zero hot-path cost
+        #: beyond one ``enabled`` check per publish).
+        self.tracer = tracer or Tracer()
         self.services: Dict[str, Service] = {}
+
+    def enable_tracing(self) -> Tracer:
+        """Switch on per-message span tracing and return the tracer."""
+        return self.tracer.enable()
 
     def service(self, name: str, **kwargs: Any) -> "Service":
         if name in self.services:
@@ -114,14 +136,21 @@ class Service:
                 [RedisLike(f"{name}-pvs-{i}") for i in range(version_store_shards)]
             ),
             hasher=ecosystem.hasher,
+            metrics=ecosystem.metrics,
+            owner=name,
         )
         self.subscriber_version_store = SubscriberVersionStore(
             ShardedKV(
                 [RedisLike(f"{name}-svs-{i}") for i in range(version_store_shards)]
-            )
+            ),
+            metrics=ecosystem.metrics,
+            owner=name,
         )
         self.publisher = SynapsePublisher(self)
         self.subscriber = SynapseSubscriber(self)
+        if database is not None:
+            # Engine op-stats feed the shared registry (engine.<name>.*).
+            database.bind_metrics(ecosystem.metrics)
 
     # ------------------------------------------------------------------
     # Model declaration (§3.1)
@@ -176,6 +205,7 @@ class Service:
             bind_model(cls, self.database, registry=self.registry, mapper=mapper)
             cls._service = self
             mapper.interceptor = self.publisher
+            mapper.bind_metrics(self.ecosystem.metrics, self.name)
 
             if subscribe is not None:
                 self._declare_subscriptions(cls, subscribe, observer)
@@ -338,7 +368,12 @@ class Service:
         return generation
 
     def stats(self) -> Dict[str, Any]:
-        """Operational counters for dashboards/tests."""
+        """Operational counters for dashboards/tests.
+
+        Every value is a read-through view of the ecosystem's
+        :class:`MetricsRegistry`; ``ecosystem.metrics.snapshot()`` exposes
+        the same counters (and more) under their hierarchical names.
+        """
         queue = self.subscriber.queue
         return {
             "service": self.name,
@@ -348,6 +383,8 @@ class Service:
             "messages_processed": self.subscriber.processed_messages,
             "stale_discarded": self.subscriber.discarded_stale,
             "duplicates_ignored": self.subscriber.duplicate_messages,
+            "dep_wait_mean_ms": self.subscriber.dep_wait.mean() * 1000,
+            "apply_mean_ms": self.subscriber.apply_time.mean() * 1000,
             "queue_depth": len(queue) if queue is not None else 0,
             "bootstrapping": self.subscriber.bootstrapping,
             "generation": self.current_generation(),

@@ -18,6 +18,12 @@ message published through two-phase-commit hooks on the transaction, so
 commit + version bumps + publish are atomic (§4.2 "Transactions"). A
 version-store crash mid-algorithm bumps the publisher's generation
 number and resumes with fresh counters (§4.4).
+
+Dependency collection from the controller context is shared between the
+immediate and transactional paths (:meth:`_collect_dependencies`), and
+both paths are instrumented: span-per-stage tracing when the ecosystem
+tracer is on, counters/histograms in the ecosystem metrics registry
+always (``publisher.<app>.overhead``, ``publisher.<app>.published``).
 """
 
 from __future__ import annotations
@@ -29,7 +35,14 @@ from repro.core.dependencies import dep_name
 from repro.core.marshal import build_message, marshal_operation
 from repro.errors import DecoratorViolation, FaultInjected
 from repro.orm.mapper import ReadEvent, Row, WriteIntent
-from repro.runtime.metrics import Histogram
+from repro.runtime.tracing import (
+    STAGE_COLLECT,
+    STAGE_ENGINE_WRITE,
+    STAGE_INTERCEPT,
+    STAGE_REGISTER,
+    Trace,
+    trace_now,
+)
 
 
 def _dedupe(deps: List[str], exclude: List[str]) -> List[str]:
@@ -58,10 +71,16 @@ class SynapsePublisher:
 
     def __init__(self, service: Any) -> None:
         self.service = service
+        registry = service.ecosystem.metrics
+        self.metrics = registry
         #: Wall-clock seconds spent inside Synapse publish logic — the
         #: "Synapse time" column of Fig 12(a).
-        self.overhead = Histogram()
-        self.messages_published = 0
+        self.overhead = registry.histogram(f"publisher.{service.name}.overhead")
+        self._published = registry.counter(f"publisher.{service.name}.published")
+
+    @property
+    def messages_published(self) -> int:
+        return self._published.value
 
     # ------------------------------------------------------------------
     # Interceptor protocol
@@ -116,28 +135,28 @@ class SynapsePublisher:
                 ctx.record_local_read(dep_name(service.name, table, row["id"]))
 
     # ------------------------------------------------------------------
-    # Immediate (non-transactional) path
+    # Dependency collection (shared by both write paths)
     # ------------------------------------------------------------------
 
-    def _immediate_write(
+    def _collect_dependencies(
         self,
-        intent: WriteIntent,
-        perform: Callable[[], Row],
-        model_cls: type,
-        pub_fields: List[str],
-    ) -> Row:
-        service = self.service
-        clock = service.ecosystem.clock
-        start = clock.monotonic()
-        mode = service.delivery_mode
-        ctx = service._controllers.current()
-        table = model_cls.table_name()
+        ctx: Any,
+        mode: str,
+        write_deps: List[str],
+        trace: Optional[Trace] = None,
+    ) -> Tuple[List[str], Dict[str, int]]:
+        """Fold the controller context into ``write_deps`` (in place) and
+        return ``(read_deps, external_deps)``.
 
-        obj_dep: Optional[str] = None
-        write_deps: List[str] = []
-        if intent.row_id is not None:
-            obj_dep = dep_name(service.name, table, intent.row_id)
-            write_deps.append(obj_dep)
+        The single home of the §4.2 dependency rules: the session user
+        object and explicit ``add_write_deps`` join the write deps (causal
+        and global modes), implicit controller reads / the chained
+        previous write / explicit ``add_read_deps`` become read deps,
+        reads of subscribed data become external deps, and global mode
+        appends the ``__global__`` object. Consumed context state is
+        cleared so the next write in the controller starts fresh.
+        """
+        start = trace_now() if trace is not None else 0.0
         read_deps: List[str] = []
         external: Dict[str, int] = {}
         if mode != WEAK and ctx is not None:
@@ -155,11 +174,46 @@ class SynapsePublisher:
             ctx.external_deps = {}
         if mode == GLOBAL:
             write_deps.append(GLOBAL_OBJECT)
+        if trace is not None:
+            trace.add(STAGE_COLLECT, start, trace_now() - start)
+        return read_deps, external
+
+    # ------------------------------------------------------------------
+    # Immediate (non-transactional) path
+    # ------------------------------------------------------------------
+
+    def _immediate_write(
+        self,
+        intent: WriteIntent,
+        perform: Callable[[], Row],
+        model_cls: type,
+        pub_fields: List[str],
+    ) -> Row:
+        service = self.service
+        clock = service.ecosystem.clock
+        trace = service.ecosystem.tracer.begin(service.name)
+        intercept_start = trace_now() if trace is not None else 0.0
+        start = clock.monotonic()
+        mode = service.delivery_mode
+        ctx = service._controllers.current()
+        table = model_cls.table_name()
+
+        obj_dep: Optional[str] = None
+        write_deps: List[str] = []
+        if intent.row_id is not None:
+            obj_dep = dep_name(service.name, table, intent.row_id)
+            write_deps.append(obj_dep)
+        read_deps, external = self._collect_dependencies(ctx, mode, write_deps, trace)
 
         store = service.publisher_version_store
         locks = store.acquire_write_locks(write_deps)
         try:
-            row = perform()
+            if trace is not None:
+                write_start = trace_now()
+                row = perform()
+                trace.add(STAGE_ENGINE_WRITE, write_start, trace_now() - write_start)
+            else:
+                row = perform()
             if obj_dep is None:
                 obj_dep = dep_name(service.name, table, row["id"])
                 write_deps.insert(0, obj_dep)
@@ -169,7 +223,7 @@ class SynapsePublisher:
             # reads the post it updates, read_deps stay empty).
             write_deps = _dedupe(write_deps, exclude=[])
             read_deps = _dedupe(read_deps, exclude=write_deps)
-            versions = self._register_with_recovery(read_deps, write_deps)
+            versions = self._register_with_recovery(read_deps, write_deps, trace)
         finally:
             store.release_locks(locks)
 
@@ -185,8 +239,11 @@ class SynapsePublisher:
         # Publish-time work done; stop the overhead clock before the
         # (broker-side) fan-out which the paper attributes to the fabric.
         self.overhead.record(clock.monotonic() - start)
+        if trace is not None:
+            trace.add(STAGE_INTERCEPT, intercept_start, trace_now() - intercept_start)
+            message.trace = trace
         service.broker.publish(message)
-        self.messages_published += 1
+        self._published.increment()
         if ctx is not None:
             ctx.note_write(obj_dep)
         return row
@@ -220,6 +277,8 @@ class SynapsePublisher:
         """2PC phase one: bump versions and build the combined message."""
         service = self.service
         clock = service.ecosystem.clock
+        trace = service.ecosystem.tracer.begin(service.name)
+        intercept_start = trace_now() if trace is not None else 0.0
         start = clock.monotonic()
         batch: _TxnBatch = txn._synapse_batch
         mode = service.delivery_mode
@@ -231,27 +290,11 @@ class SynapsePublisher:
             if dep not in write_deps:
                 write_deps.append(dep)
         batch.first_write_dep = write_deps[0] if write_deps else None
-        read_deps: List[str] = []
-        external: Dict[str, int] = {}
-        if mode != WEAK and ctx is not None:
-            if ctx.user_dep is not None:
-                write_deps.append(ctx.user_dep)
-            if ctx.extra_write_deps:
-                write_deps.extend(ctx.extra_write_deps)
-                ctx.extra_write_deps = []
-            read_deps.extend(ctx.read_deps)
-            ctx.read_deps = []
-            ctx._seen_reads.clear()
-            if ctx.prev_write_dep is not None:
-                read_deps.append(ctx.prev_write_dep)
-            external = dict(ctx.external_deps)
-            ctx.external_deps = {}
-        if mode == GLOBAL:
-            write_deps.append(GLOBAL_OBJECT)
+        read_deps, external = self._collect_dependencies(ctx, mode, write_deps, trace)
 
         write_deps = _dedupe(write_deps, exclude=[])
         read_deps = _dedupe(read_deps, exclude=write_deps)
-        versions = self._register_with_recovery(read_deps, write_deps)
+        versions = self._register_with_recovery(read_deps, write_deps, trace)
         operations = [
             marshal_operation(kind, model_cls, row, fields)
             for kind, model_cls, row, fields in batch.ops
@@ -265,6 +308,9 @@ class SynapsePublisher:
             external_dependencies=external,
         )
         self.overhead.record(clock.monotonic() - start)
+        if trace is not None:
+            trace.add(STAGE_INTERCEPT, intercept_start, trace_now() - intercept_start)
+            batch.message.trace = trace
 
     def _commit_transaction(self, txn: Any) -> None:
         """2PC phase two: the local commit succeeded — publish."""
@@ -272,7 +318,7 @@ class SynapsePublisher:
         if batch.message is None:
             return
         self.service.broker.publish(batch.message)
-        self.messages_published += 1
+        self._published.increment()
         if batch.ctx is not None and batch.first_write_dep is not None:
             batch.ctx.note_write(batch.first_write_dep)
 
@@ -281,14 +327,21 @@ class SynapsePublisher:
     # ------------------------------------------------------------------
 
     def _register_with_recovery(
-        self, read_deps: List[str], write_deps: List[str]
+        self,
+        read_deps: List[str],
+        write_deps: List[str],
+        trace: Optional[Trace] = None,
     ) -> Dict[str, int]:
         store = self.service.publisher_version_store
+        start = trace_now() if trace is not None else 0.0
         try:
-            return store.register_operation(read_deps, write_deps)
+            versions = store.register_operation(read_deps, write_deps)
         except FaultInjected:
             self.service.recover_publisher_version_store()
-            return store.register_operation(read_deps, write_deps)
+            versions = store.register_operation(read_deps, write_deps)
+        if trace is not None:
+            trace.add(STAGE_REGISTER, start, trace_now() - start)
+        return versions
 
     # ------------------------------------------------------------------
 

@@ -12,8 +12,9 @@ During bootstrap every message is handled with weak semantics (§3.2).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.broker.message import Message
@@ -28,6 +29,7 @@ from repro.errors import QueueDecommissioned, SubscriptionError
 from repro.orm.associations import snake_case
 from repro.orm.callbacks import run_callbacks
 from repro.orm.model import pluralize
+from repro.runtime.tracing import STAGE_APPLY, STAGE_DEP_WAIT, trace_now
 
 
 @dataclass
@@ -59,15 +61,40 @@ class SynapseSubscriber:
         #: per-publisher generation last seen.
         self.generations: Dict[str, int] = {}
         self.bootstrapping = False
-        self.processed_messages = 0
-        self.discarded_stale = 0
-        self.duplicate_messages = 0
+        registry = service.ecosystem.metrics
+        self.metrics = registry
+        self._processed = registry.counter(f"subscriber.{service.name}.processed")
+        self._stale = registry.counter(f"subscriber.{service.name}.stale_discarded")
+        self._duplicates = registry.counter(f"subscriber.{service.name}.duplicates")
+        #: Time applied messages spent blocked on dependency counters.
+        self.dep_wait = registry.histogram(f"subscriber.{service.name}.dep_wait")
+        #: Time spent applying operations through the local ORM.
+        self.apply_time = registry.histogram(f"subscriber.{service.name}.apply")
         self.queue = None
         # At-least-once deduplication: remember recently-applied message
         # uids so a redelivery after a missed ack is a no-op (applying
         # twice would double-increment the dependency counters).
+        # Regression note: the deque/set pair used to be mutated without a
+        # lock; N pool workers marking applied concurrently could pop the
+        # same oldest uid or interleave deque/set updates, leaving the set
+        # out of sync with the deque (phantom or lost dedup entries).
+        self._applied_lock = threading.Lock()
         self._applied_uids: "deque[str]" = deque(maxlen=4096)
         self._applied_uid_set: set = set()
+
+    # -- migrated ad-hoc counters (registry-backed, read-only views) -------
+
+    @property
+    def processed_messages(self) -> int:
+        return self._processed.value
+
+    @property
+    def discarded_stale(self) -> int:
+        return self._stale.value
+
+    @property
+    def duplicate_messages(self) -> int:
+        return self._duplicates.value
 
     # ------------------------------------------------------------------
     # Registration
@@ -166,8 +193,8 @@ class SynapseSubscriber:
 
     def process_message(self, message: Message, wait_timeout: float = 0.0) -> bool:
         """Apply one message if its dependencies allow; True when done."""
-        if message.uid in self._applied_uid_set:
-            self.duplicate_messages += 1
+        if self._already_applied(message.uid):
+            self._duplicates.increment()
             return True  # redelivered duplicate: safe to ack again
         mode = self.app_modes.get(message.app, WEAK)
         if not self._generation_ready(message):
@@ -178,35 +205,52 @@ class SynapseSubscriber:
             # Bootstrap forces weak semantics (§3.2): apply without
             # waiting, but keep full counter accounting so the configured
             # mode resumes cleanly once in sync.
-            for operation in message.operations:
-                self._apply_operation(message.app, operation)
+            self._apply_timed(message)
             store.apply(message.dependencies.keys())
-            self._mark_applied(message.uid)
-            self.processed_messages += 1
+            self._finish(message)
             return True
 
         object_deps = self._object_deps(message)
         if mode == WEAK:
             self._apply_weak(message, object_deps)
-            self._mark_applied(message.uid)
-            self.processed_messages += 1
+            self._finish(message)
             return True
 
         required = dict(
             effective_dependencies(message.dependencies, mode, set(object_deps))
         )
         required.update(message.external_dependencies)
+        wait_start = trace_now()
         if wait_timeout > 0:
             if not store.wait_satisfied(required, wait_timeout):
                 return False
         elif not store.satisfied(required):
             return False
-        self._apply_all(message)
+        waited = trace_now() - wait_start
+        self.dep_wait.record(waited)
+        if message.trace is not None:
+            message.trace.add(STAGE_DEP_WAIT, wait_start, waited)
+        self._apply_timed(message)
         # Increment every own-app dependency; externals are never bumped.
         store.apply(message.dependencies.keys())
-        self._mark_applied(message.uid)
-        self.processed_messages += 1
+        self._finish(message)
         return True
+
+    def _apply_timed(self, message: Message) -> None:
+        """Apply all operations, feeding the apply histogram/span."""
+        start = trace_now()
+        self._apply_all(message)
+        elapsed = trace_now() - start
+        self.apply_time.record(elapsed)
+        if message.trace is not None:
+            message.trace.add(STAGE_APPLY, start, elapsed)
+
+    def _finish(self, message: Message) -> None:
+        """Common bookkeeping once a message has been applied."""
+        self._mark_applied(message.uid)
+        self._processed.increment()
+        if message.trace is not None:
+            self.service.ecosystem.tracer.record(message.trace)
 
     def _apply_all(self, message: Message) -> None:
         """Apply every operation of one message, atomically when the
@@ -230,20 +274,25 @@ class SynapseSubscriber:
         """Give up waiting for a late/lost dependency and apply anyway
         (the configurable-timeout semantics recommended in §6.5: causal
         is timeout=∞, weak is timeout=0, this is anything in between)."""
-        if message.uid in self._applied_uid_set:
+        if self._already_applied(message.uid):
             return
-        for operation in message.operations:
-            self._apply_operation(message.app, operation)
+        self._apply_timed(message)
         self.service.subscriber_version_store.apply(message.dependencies.keys())
-        self._mark_applied(message.uid)
-        self.processed_messages += 1
+        self._finish(message)
+
+    def _already_applied(self, uid: str) -> bool:
+        with self._applied_lock:
+            return uid in self._applied_uid_set
 
     def _mark_applied(self, uid: str) -> None:
-        if len(self._applied_uids) == self._applied_uids.maxlen:
-            oldest = self._applied_uids.popleft()
-            self._applied_uid_set.discard(oldest)
-        self._applied_uids.append(uid)
-        self._applied_uid_set.add(uid)
+        with self._applied_lock:
+            if uid in self._applied_uid_set:
+                return
+            if len(self._applied_uids) == self._applied_uids.maxlen:
+                oldest = self._applied_uids.popleft()
+                self._applied_uid_set.discard(oldest)
+            self._applied_uids.append(uid)
+            self._applied_uid_set.add(uid)
 
     def _object_deps(self, message: Message) -> Dict[str, Dict[str, Any]]:
         """hashed object dep -> operation, for the written objects."""
@@ -264,7 +313,7 @@ class SynapseSubscriber:
         for hashed, operation in object_deps.items():
             version = message.dependencies.get(hashed, 0)
             if store.is_stale(hashed, version):
-                self.discarded_stale += 1
+                self._stale.increment()
                 continue
             self._apply_operation(message.app, operation)
             store.fast_forward(hashed, version)

@@ -113,6 +113,11 @@ class Database:
         self.read_cost = read_cost
         self.stats = EngineStats()
         self.faults = FaultPlan()
+        # Optional mirrors into a shared MetricsRegistry; bound by the
+        # owning Service so engine op counts appear in snapshots as
+        # engine.<name>.reads / engine.<name>.writes.
+        self._metric_reads = None
+        self._metric_writes = None
         #: Optional ring buffer of (operation, detail) entries; enable
         #: with :meth:`enable_query_log` for debugging/tests.
         self.query_log = None
@@ -124,15 +129,27 @@ class Database:
 
     # -- bookkeeping -------------------------------------------------------
 
+    def bind_metrics(self, registry: Any, prefix: Optional[str] = None) -> None:
+        """Mirror per-operation counts into ``registry`` (a
+        :class:`repro.runtime.metrics.MetricsRegistry`) under
+        ``<prefix>.reads`` / ``<prefix>.writes``."""
+        prefix = prefix or f"engine.{self.name}"
+        self._metric_reads = registry.counter(f"{prefix}.reads")
+        self._metric_writes = registry.counter(f"{prefix}.writes")
+
     def _charge_write(self) -> None:
         self.faults.check_write()
         self.stats.writes += 1
+        if self._metric_writes is not None:
+            self._metric_writes.increment()
         if self.write_cost:
             self.clock.sleep(self.write_cost)
 
     def _charge_read(self) -> None:
         self.faults.check_read()
         self.stats.reads += 1
+        if self._metric_reads is not None:
+            self._metric_reads.increment()
         if self.read_cost:
             self.clock.sleep(self.read_cost)
 

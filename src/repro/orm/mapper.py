@@ -68,6 +68,10 @@ class Mapper:
         self.model_cls: Optional[Type] = None
         self.table: str = ""
         self.interceptor: Optional[Interceptor] = None
+        # Optional mirrors into a shared MetricsRegistry (orm.<app>.*),
+        # bound by the owning Service when the model is declared.
+        self._metric_writes = None
+        self._metric_reads = None
 
     # -- binding ----------------------------------------------------------
 
@@ -137,12 +141,23 @@ class Mapper:
 
     # -- interception plumbing ------------------------------------------------
 
+    def bind_metrics(self, registry: Any, app: str) -> None:
+        """Count ORM-level operations in a shared MetricsRegistry:
+        ``orm.<app>.writes`` (dispatched write intents) and
+        ``orm.<app>.reads`` (rows returned to the application)."""
+        self._metric_writes = registry.counter(f"orm.{app}.writes")
+        self._metric_reads = registry.counter(f"orm.{app}.reads")
+
     def _dispatch(self, intent: WriteIntent, perform: Callable[[], Row]) -> Row:
+        if self._metric_writes is not None:
+            self._metric_writes.increment()
         if self.interceptor is None:
             return perform()
         return self.interceptor.write(intent, perform)
 
     def _emit_read(self, rows: List[Row]) -> None:
+        if self._metric_reads is not None and rows:
+            self._metric_reads.increment(len(rows))
         if self.interceptor is not None and rows:
             self.interceptor.read(ReadEvent(self.model_cls, rows))
 

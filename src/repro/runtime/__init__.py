@@ -1,6 +1,24 @@
-"""Execution/measurement runtime: metrics, threaded worker pools and the
-discrete-event simulator used for the scaling experiments."""
+"""Execution/measurement runtime: the central metrics registry, per-message
+tracing, threaded worker pools and the discrete-event simulator used for
+the scaling experiments."""
 
-from repro.runtime.metrics import Histogram, ThroughputMeter, Timer
+from repro.runtime.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    ThroughputMeter,
+    Timer,
+)
+from repro.runtime.tracing import Span, Trace, Tracer, format_trace
 
-__all__ = ["Histogram", "Timer", "ThroughputMeter"]
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "ThroughputMeter",
+    "Span",
+    "Trace",
+    "Tracer",
+    "format_trace",
+]

@@ -96,12 +96,17 @@ def simulate_subscriber(
     service_time: float,
     db: Optional[DBCeiling] = None,
     arrival_times: Optional[Sequence[float]] = None,
+    metrics=None,
 ) -> SimResult:
     """Simulate N subscriber workers applying ``messages``.
 
     ``arrival_times`` (parallel to ``messages``) gates when each message
     reaches the queue; by default everything is available at t=0 (a
     saturated backlog, the stress-test setup of §6.3).
+
+    ``metrics`` (a :class:`repro.runtime.metrics.MetricsRegistry`) mirrors
+    the simulated run into ``sim.dep_wait`` / ``sim.completed`` so
+    simulated and real pipelines report through the same surface.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
@@ -180,6 +185,10 @@ def simulate_subscriber(
             now = next_arrival
 
     total_time = max(now, 1e-12)
+    if metrics is not None:
+        metrics.counter("sim.completed").increment(completed)
+        if completed:
+            metrics.histogram("sim.dep_wait").record(dep_wait_total / completed)
     return SimResult(
         total_time=total_time,
         completed=completed,

@@ -1,0 +1,179 @@
+"""End-to-end tracing of the publish→route→apply hot path.
+
+A :class:`Trace` rides inside the Fig 6(b) message envelope (it survives
+the JSON wire round trip of ``Message.copy()``), accumulating one
+:class:`Span` per pipeline stage:
+
+    publisher.intercept       the whole ORM-intercepted write
+    publisher.collect_deps    dependency collection from the controller ctx
+    publisher.version_register  version-store counter bumps
+    publisher.engine_write    the underlying engine write
+    broker.route              wire-copy + enqueue into one subscriber queue
+    queue.dwell               time spent sitting in the durable queue
+    subscriber.dep_wait       waiting for dependency counters
+    subscriber.apply          applying the operations through the local ORM
+
+plus point-in-time marks (``queue.enqueued``, ``subscriber.ack``). The
+per-ecosystem :class:`Tracer` is the on/off switch and the sink finished
+traces land in; tracing is off by default and a disabled tracer adds a
+single ``None`` check to the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.clock import DEFAULT_CLOCK
+
+# Stage names, in pipeline order (used for display sorting and docs).
+STAGE_INTERCEPT = "publisher.intercept"
+STAGE_COLLECT = "publisher.collect_deps"
+STAGE_REGISTER = "publisher.version_register"
+STAGE_ENGINE_WRITE = "publisher.engine_write"
+STAGE_ROUTE = "broker.route"
+STAGE_DWELL = "queue.dwell"
+STAGE_DEP_WAIT = "subscriber.dep_wait"
+STAGE_APPLY = "subscriber.apply"
+
+MARK_ENQUEUED = "queue.enqueued"
+MARK_ACKED = "subscriber.ack"
+
+PIPELINE_STAGES = (
+    STAGE_INTERCEPT,
+    STAGE_COLLECT,
+    STAGE_REGISTER,
+    STAGE_ENGINE_WRITE,
+    STAGE_ROUTE,
+    STAGE_DWELL,
+    STAGE_DEP_WAIT,
+    STAGE_APPLY,
+)
+
+
+def trace_now() -> float:
+    """Timestamp source for spans: always the wall monotonic clock, so
+    publisher- and subscriber-side spans are comparable across threads
+    (ecosystem clocks may be virtual)."""
+    return DEFAULT_CLOCK.monotonic()
+
+
+class Span:
+    """One timed pipeline stage of one message."""
+
+    __slots__ = ("stage", "start", "duration")
+
+    def __init__(self, stage: str, start: float, duration: float) -> None:
+        self.stage = stage
+        self.start = start
+        self.duration = duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"stage": self.stage, "start": self.start, "duration": self.duration}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(data["stage"], data["start"], data["duration"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.stage} {self.duration * 1000:.3f}ms>"
+
+
+class Trace:
+    """Per-message span collection (JSON-serialisable)."""
+
+    def __init__(
+        self,
+        app: str = "",
+        spans: Optional[List[Span]] = None,
+        marks: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.app = app
+        self.spans: List[Span] = list(spans or [])
+        self.marks: Dict[str, float] = dict(marks or {})
+
+    def add(self, stage: str, start: float, duration: float) -> None:
+        self.spans.append(Span(stage, start, duration))
+
+    def mark(self, name: str, at: Optional[float] = None) -> None:
+        self.marks[name] = trace_now() if at is None else at
+
+    def stages(self) -> List[str]:
+        return [span.stage for span in self.spans]
+
+    def duration(self, stage: str) -> Optional[float]:
+        """Total duration of every span of ``stage`` (None if absent)."""
+        matching = [s.duration for s in self.spans if s.stage == stage]
+        if not matching:
+            return None
+        return sum(matching)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "spans": [span.to_dict() for span in self.spans],
+            "marks": self.marks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trace":
+        return cls(
+            app=data.get("app", ""),
+            spans=[Span.from_dict(s) for s in data.get("spans", [])],
+            marks=data.get("marks", {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace app={self.app} stages={self.stages()}>"
+
+
+class Tracer:
+    """Per-ecosystem tracing switch and sink for finished traces."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.enabled = False
+        self._finished: "deque[Trace]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def enable(self) -> "Tracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def begin(self, app: str) -> Optional[Trace]:
+        """Start a trace for one message — None when tracing is off,
+        which is the entire hot-path cost of the facility."""
+        if not self.enabled:
+            return None
+        return Trace(app=app)
+
+    def record(self, trace: Trace) -> None:
+        """A subscriber finished applying a traced message."""
+        with self._lock:
+            self._finished.append(trace)
+
+    def finished(self) -> List[Trace]:
+        with self._lock:
+            return list(self._finished)
+
+    def last(self) -> Optional[Trace]:
+        with self._lock:
+            return self._finished[-1] if self._finished else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+def format_trace(trace: Trace) -> List[str]:
+    """Render one finished trace as aligned per-stage lines."""
+    lines = [f"trace of one {trace.app!r} message:"]
+    order = {stage: i for i, stage in enumerate(PIPELINE_STAGES)}
+    for span in sorted(trace.spans, key=lambda s: (order.get(s.stage, 99), s.start)):
+        lines.append(f"  {span.stage:<28} {span.duration * 1000:9.3f} ms")
+    total = sum(span.duration for span in trace.spans)
+    lines.append(f"  {'total (sum of spans)':<28} {total * 1000:9.3f} ms")
+    return lines

@@ -10,9 +10,11 @@ Synapse rebootstraps the subscriber at that point (§6.5).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional
 
 from repro.errors import QueueDecommissioned
+from repro.runtime.metrics import Counter
 
 
 class WorkerFleet:
@@ -83,13 +85,29 @@ class SubscriberWorkerPool:
         self.give_up_action = give_up_action
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
-        self._idle = threading.Event()
         self._active = 0
         self._active_lock = threading.Lock()
-        self.deadlocked_messages = 0
-        #: Messages whose apply raised (DB fault, bad payload): they are
-        #: nacked and retried until the delivery budget runs out.
-        self.apply_errors = 0
+        # Event-based idle signaling: workers notify after every message
+        # completion (replacing the old 5 ms busy-poll in
+        # :meth:`wait_until_idle`).
+        self._idle = threading.Condition(self._active_lock)
+        # Local counters keep per-pool semantics (a fresh pool starts at
+        # zero); the ecosystem registry accumulates across pools.
+        self._deadlocked = Counter()
+        self._apply_errors = Counter()
+        registry = service.ecosystem.metrics
+        self._reg_deadlocked = registry.counter(f"workers.{service.name}.deadlocked")
+        self._reg_apply_errors = registry.counter(f"workers.{service.name}.apply_errors")
+
+    @property
+    def deadlocked_messages(self) -> int:
+        return self._deadlocked.value
+
+    @property
+    def apply_errors(self) -> int:
+        """Messages whose apply raised (DB fault, bad payload): they are
+        nacked and retried until the delivery budget runs out."""
+        return self._apply_errors.value
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -141,7 +159,8 @@ class SubscriberWorkerPool:
                 except Exception:
                     # A transient engine fault (or poisonous payload) must
                     # not kill the worker: nack and let redelivery retry.
-                    self.apply_errors += 1
+                    self._apply_errors.increment()
+                    self._reg_apply_errors.increment()
                     done = False
                 if done:
                     queue.ack(message)
@@ -150,31 +169,38 @@ class SubscriberWorkerPool:
                     if self.give_up_action == "apply":
                         subscriber.force_apply(message)
                     queue.ack(message)
-                    self.deadlocked_messages += 1
+                    self._deadlocked.increment()
+                    self._reg_deadlocked.increment()
                     if self.on_deadlock is not None:
                         self.on_deadlock(self.service)
                 else:
                     queue.nack(message)
             finally:
-                with self._active_lock:
+                with self._idle:
                     self._active -= 1
+                    self._idle.notify_all()
 
     # -- synchronisation -----------------------------------------------------------
 
     def wait_until_idle(self, timeout: float = 10.0) -> bool:
-        """Block until the queue is drained and no worker is mid-message."""
-        import time
+        """Block until the queue is drained and no worker is mid-message.
 
+        Event-driven: workers notify the condition after every message
+        completion; the short bounded wait is only a safety net against
+        transitions with no notifier (e.g. an external publish while the
+        pool is idle).
+        """
         queue = self.service.subscriber.queue
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            with self._active_lock:
-                active = self._active
-            drained = (
-                queue is None
-                or (len(queue) == 0 and queue.unacked_count == 0)
-            )
-            if drained and active == 0:
-                return True
-            time.sleep(0.005)
-        return False
+
+        def drained() -> bool:
+            return queue is None or (len(queue) == 0 and queue.unacked_count == 0)
+
+        with self._idle:
+            while True:
+                if self._active == 0 and drained():
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, 0.25))

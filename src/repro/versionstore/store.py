@@ -120,10 +120,22 @@ class _LockTable:
 class PublisherVersionStore:
     """The publisher's two-counter store plus its lock table."""
 
-    def __init__(self, kv: ShardedKV, hasher: Optional[DependencyHasher] = None) -> None:
+    def __init__(
+        self,
+        kv: ShardedKV,
+        hasher: Optional[DependencyHasher] = None,
+        metrics: Optional[Any] = None,
+        owner: str = "",
+    ) -> None:
         self.kv = kv
         self.hasher = hasher or DependencyHasher()
         self.locks = _LockTable()
+        # Counter bumps mirrored into the ecosystem metrics registry.
+        self._bumps = (
+            metrics.counter(f"versionstore.{owner or 'publisher'}.bumps")
+            if metrics is not None
+            else None
+        )
 
     @staticmethod
     def _key(hashed_dep: str) -> str:
@@ -140,6 +152,8 @@ class PublisherVersionStore:
     def bump(self, dep: str, is_write: bool) -> int:
         """Increment ``ops`` (and ``version`` for writes); return the
         version number to embed in the message."""
+        if self._bumps is not None:
+            self._bumps.increment()
         key = self._key(self.hasher.hash(dep))
 
         def script(store: RedisLike) -> int:
@@ -189,9 +203,16 @@ class PublisherVersionStore:
 class SubscriberVersionStore:
     """The subscriber's single-counter store."""
 
-    def __init__(self, kv: ShardedKV) -> None:
+    def __init__(
+        self, kv: ShardedKV, metrics: Optional[Any] = None, owner: str = ""
+    ) -> None:
         self.kv = kv
         self._waiters = threading.Condition()
+        self._applied = (
+            metrics.counter(f"versionstore.{owner or 'subscriber'}.applied")
+            if metrics is not None
+            else None
+        )
 
     @staticmethod
     def _key(hashed_dep: str) -> str:
@@ -215,6 +236,8 @@ class SubscriberVersionStore:
     def apply(self, dependencies: Iterable[str]) -> None:
         """Post-processing increment of every (non-external) dependency."""
         for dep in dependencies:
+            if self._applied is not None:
+                self._applied.increment()
             key = self._key(dep)
 
             def script(store: RedisLike, key: str = key) -> None:

@@ -1,7 +1,6 @@
 """The paper's motivating causality example (§3.2): "sending a
 notification for a new post to an out-of-date friends set"."""
 
-import pytest
 
 from repro.apps import build_social_ecosystem
 

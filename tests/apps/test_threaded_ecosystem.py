@@ -1,6 +1,5 @@
 """The full §5.2 ecosystem under real threaded worker pools."""
 
-import pytest
 
 from repro.apps import build_social_ecosystem
 from repro.runtime.workers import SubscriberWorkerPool

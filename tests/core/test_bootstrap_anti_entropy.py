@@ -1,6 +1,5 @@
 """Bootstrap anti-entropy: ghost rows from lost delete messages."""
 
-import pytest
 
 from repro.core import Ecosystem
 from repro.core.bootstrap import bootstrap_subscriber

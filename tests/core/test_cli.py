@@ -21,6 +21,21 @@ class TestCLI:
         assert main(["topology", "social", "--dot"]) == 0
         assert capsys.readouterr().out.startswith("digraph")
 
+    def test_metrics_snapshot(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "broker.routed" in out
+        assert "publisher.pub.overhead" in out
+        assert "subscriber.sub.processed" in out
+
+    def test_metrics_with_trace(self, capsys):
+        assert main(["metrics", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "publisher.intercept" in out
+        assert "queue.dwell" in out
+        assert "subscriber.apply" in out
+        assert "total" in out
+
     def test_unknown_command(self, capsys):
         assert main(["frobnicate"]) == 1
 

@@ -3,7 +3,6 @@ workers over the real engines."""
 
 import threading
 
-import pytest
 
 from repro.core import Ecosystem
 from repro.databases.document import MongoLike

@@ -1,7 +1,6 @@
 """Multi-level decorator cascades (the §3.1 "complex ecosystems ...
 subscribe to data from each other, enhance it, and publish it further")."""
 
-import pytest
 
 from repro.core import Ecosystem
 from repro.databases.document import MongoLike

@@ -1,6 +1,5 @@
 """Delivery-semantics integration tests (§3.2, §4.2, Fig 8)."""
 
-import pytest
 
 from repro.core import Ecosystem
 from repro.core.delivery import GLOBAL_OBJECT

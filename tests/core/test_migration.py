@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import Ecosystem
-from repro.core.bootstrap import bootstrap_subscriber
 from repro.core.migration import LiveMigrator, replicate_service
 from repro.databases.document import MongoLike, TokuMXLike
 from repro.databases.relational import PostgresLike

@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro import errors
 from repro.broker import Message, SubscriberQueue

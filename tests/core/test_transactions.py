@@ -5,7 +5,6 @@ import pytest
 from repro.core import Ecosystem
 from repro.databases.document import MongoLike
 from repro.databases.relational import PostgresLike
-from repro.errors import FaultInjected
 from repro.orm import Field, Model
 
 

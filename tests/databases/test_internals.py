@@ -1,7 +1,6 @@
 """Direct unit tests for engine internals: expression trees, LSM
 structures, the inverted index, analysis helpers."""
 
-import pytest
 
 from repro.databases.columnar.memtable import Memtable, SSTable, compact, merge_row
 from repro.databases.relational.expression import (
@@ -13,7 +12,6 @@ from repro.databases.relational.expression import (
     IsNull,
     Like,
     Not,
-    Or,
     where_from_dict,
 )
 from repro.databases.search.inverted_index import InvertedIndex

@@ -74,7 +74,9 @@ class TestJoinProperties:
             for c in db.select("children")
             if c["parent_id"] == p["id"]
         ]
-        key = lambda pair: (pair[0]["id"], pair[1]["id"])
+        def key(pair):
+            return (pair[0]["id"], pair[1]["id"])
+
         assert sorted(joined, key=key) == sorted(expected, key=key)
 
     @given(children=rows)

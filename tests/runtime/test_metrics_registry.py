@@ -1,0 +1,100 @@
+"""MetricsRegistry, Counter and the cached-percentile Histogram."""
+
+import threading
+
+import pytest
+
+from repro.runtime.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_basic_increment(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.histogram("a.h") is registry.histogram("a.h")
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        registry.histogram("y")
+        with pytest.raises(ValueError):
+            registry.counter("y")
+
+    def test_snapshot_merges_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("broker.routed").increment(3)
+        registry.histogram("publisher.app.overhead").extend([0.1, 0.2])
+        snap = registry.snapshot()
+        assert snap["broker.routed"] == 3
+        assert snap["publisher.app.overhead"]["count"] == 2
+        assert list(snap) == sorted(snap)
+
+    def test_snapshot_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("broker.routed").increment()
+        registry.counter("subscriber.sub.processed").increment()
+        assert list(registry.snapshot(prefix="broker.")) == ["broker.routed"]
+
+    def test_value_of_untouched_counter(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment(7)
+        registry.histogram("h").record(1.0)
+        registry.reset()
+        assert registry.value("c") == 0
+        assert registry.histogram("h").count == 0
+
+
+class TestHistogramPercentileCache:
+    def test_percentiles_correct_after_interleaved_mutation(self):
+        histogram = Histogram()
+        histogram.extend([5.0, 1.0, 3.0])
+        assert histogram.percentile(50) == 3.0
+        assert histogram.percentile(100) == 5.0
+        # Mutations must invalidate the cached sorted view.
+        histogram.record(0.5)
+        assert histogram.percentile(25) == 0.5
+        histogram.extend([10.0])
+        assert histogram.percentile(100) == 10.0
+        histogram.reset()
+        assert histogram.percentile(99) == 0.0
+
+    def test_sort_happens_once_per_generation(self):
+        histogram = Histogram()
+        histogram.extend(list(range(100, 0, -1)))
+        histogram.percentile(50)
+        cached = histogram._sorted
+        assert cached is not None
+        histogram.percentile(99)
+        assert histogram._sorted is cached  # no re-sort between reads
+        histogram.record(0)
+        assert histogram._sorted is None  # invalidated on write

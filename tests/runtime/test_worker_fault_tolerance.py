@@ -1,6 +1,5 @@
 """Worker resilience against engine faults during message application."""
 
-import pytest
 
 from repro.core import Ecosystem
 from repro.databases.document import MongoLike
