@@ -9,6 +9,12 @@ Commands:
         run a small publisher->subscriber scenario and print the
         MetricsRegistry snapshot; with --trace, also print the
         per-stage spans of one end-to-end traced message
+    repair --demo [--objects N] [--lose K]
+        reproduce the §6.5 message-loss incident (lost write-messages
+        wedging a causal subscriber), audit replica divergence with
+        Merkle digests, and heal it with targeted repair — no queue
+        decommission, no full re-bootstrap; exits 0 iff the replicas
+        end digest-equal
     version
 """
 
@@ -67,6 +73,87 @@ def _metrics_command(with_trace: bool) -> int:
     return 0
 
 
+def _repair_demo(objects: int, lose: int) -> int:
+    """§6.5 in miniature: lose write-messages under causal delivery,
+    watch the subscriber wedge, then audit + targeted-repair it back to
+    digest-equality without decommissioning anything."""
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+
+    eco = Ecosystem()
+    pub = eco.service("pub", database=MongoLike("pub-db"))
+
+    @pub.model(publish=["name", "score"], name="User")
+    class User(Model):
+        name = Field(str)
+        score = Field(int, default=0)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(subscribe={"from": "pub", "fields": ["name", "score"]}, name="User")
+    class SubUser(Model):
+        name = Field(str)
+        score = Field(int, default=0)
+
+    users = []
+    with pub.controller():
+        for i in range(objects):
+            users.append(User.create(name=f"user-{i}", score=i))
+    sub.subscriber.drain()
+    print(f"replicated {objects} objects; injecting loss of {lose} messages...")
+
+    eco.broker.drop_next(lose)
+    with pub.controller():
+        for user in users[:lose]:
+            user.score += 1000
+            user.save()
+    # Follow-up writes to the same objects: their messages depend on the
+    # lost increments and wedge the causal queue (§6.5 deadlock).
+    with pub.controller():
+        for user in users[:lose]:
+            user.score += 1000
+            user.save()
+    sub.subscriber.drain()
+
+    report = sub.audit_replication()
+    for line in report.summary_lines():
+        print(line)
+    if report.in_sync:
+        print("nothing to repair — loss injection did not diverge replicas")
+        return 1
+
+    print()
+    result = sub.repair_replication(report=report)
+    for line in result.summary_lines():
+        print(line)
+
+    print()
+    snapshot = eco.metrics.snapshot()
+    print("repair.* metrics:")
+    for name, value in snapshot.items():
+        if name.startswith("repair."):
+            rendered = (
+                f"count={value['count']} mean={value['mean'] * 1000:.3f}ms"
+                if isinstance(value, dict) else str(value)
+            )
+            print(f"  {name:<40} {rendered}")
+    stats = eco.broker.queue_stats("sub")["sub"]
+    print(
+        f"queue after repair: queued={stats['queued']} "
+        f"in_flight={stats['in_flight']} decommissioned={stats['decommissioned']}"
+    )
+    if not result.verified_in_sync:
+        print("FAILED: replicas still divergent after repair")
+        return 1
+    if stats["decommissioned"]:
+        print("FAILED: repair should never decommission the queue")
+        return 1
+    print("OK: replicas digest-equal, queue intact")
+    return 0
+
+
 def main(argv: list) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -108,6 +195,18 @@ def main(argv: list) -> int:
         return 0
     if command == "metrics":
         return _metrics_command("--trace" in args)
+    if command == "repair":
+        def _flag(name: str, default: int) -> int:
+            if name in args:
+                return int(args[args.index(name) + 1])
+            return default
+
+        if "--demo" not in args:
+            print("the repair command currently only supports --demo")
+            return 1
+        return _repair_demo(
+            objects=_flag("--objects", 40), lose=_flag("--lose", 3)
+        )
     if command == "topology":
         from repro.core.tools import describe_ecosystem, to_dot
 

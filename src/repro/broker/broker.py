@@ -147,6 +147,12 @@ class Broker:
         with self._lock:
             self._drop_next += count
 
+    def reseed(self, seed: int) -> None:
+        """Re-seed the loss RNG so chaos runs are reproducible from any
+        point (fault-injection determinism audit)."""
+        with self._lock:
+            self._rng = random.Random(seed)
+
     def _should_drop(self) -> bool:
         with self._lock:
             if self._drop_next > 0:
@@ -159,6 +165,22 @@ class Broker:
     def backlog(self) -> Dict[str, int]:
         with self._lock:
             return {name: len(queue) for name, queue in self._queues.items()}
+
+    def in_flight(self) -> Dict[str, int]:
+        """Per-queue delivered-but-unacked counts. ``backlog()`` alone
+        undercounts transit lag: a message a worker has popped but not
+        acked is neither queued nor applied."""
+        with self._lock:
+            return {name: queue.unacked_count for name, queue in self._queues.items()}
+
+    def queue_stats(self, subscriber_app: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+        """Full queue accounting (queued/in_flight/published/acked/
+        decommissioned) for one subscriber or all of them."""
+        with self._lock:
+            if subscriber_app is not None:
+                queue = self._queues.get(subscriber_app)
+                return {subscriber_app: queue.stats()} if queue is not None else {}
+            return {name: queue.stats() for name, queue in self._queues.items()}
 
     def validate_binding(self, subscriber_app: str, publisher_app: str) -> None:
         if publisher_app not in self._publications:

@@ -31,6 +31,7 @@ class Message:
         published_at: float,
         generation: int = 1,
         bootstrap: bool = False,
+        repair: bool = False,
         external_dependencies: Optional[Dict[str, int]] = None,
         uid: Optional[str] = None,
         trace: Optional[Trace] = None,
@@ -49,6 +50,11 @@ class Message:
         self.generation = generation
         #: Marks messages produced by the bulk phase of a bootstrap (§4.4).
         self.bootstrap = bootstrap
+        #: Marks anti-entropy repair messages: applied with weak
+        #: fresh-or-discard semantics, and the per-object dependency
+        #: counters are fast-forwarded to the carried versions so a
+        #: counter deficit from lost messages heals without a bootstrap.
+        self.repair = repair
         #: End-to-end trace context; None unless the ecosystem tracer is
         #: enabled. Serialised with the payload so it survives the wire
         #: round trip of :meth:`copy`.
@@ -65,6 +71,7 @@ class Message:
             "published_at": self.published_at,
             "generation": self.generation,
             "bootstrap": self.bootstrap,
+            "repair": self.repair,
         }
         if self.trace is not None:
             payload["trace"] = self.trace.to_dict()
@@ -80,6 +87,7 @@ class Message:
             published_at=data["published_at"],
             generation=data.get("generation", 1),
             bootstrap=data.get("bootstrap", False),
+            repair=data.get("repair", False),
             external_dependencies=data.get("external_dependencies"),
             uid=data.get("uid"),
             trace=Trace.from_dict(data["trace"]) if data.get("trace") else None,

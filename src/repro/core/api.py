@@ -367,6 +367,34 @@ class Service:
             shard.flushall()
         return generation
 
+    # ------------------------------------------------------------------
+    # Anti-entropy surface (replica audits + targeted repair)
+    # ------------------------------------------------------------------
+
+    def audit_replication(self, publisher_name: Optional[str] = None) -> Any:
+        """Compare this subscriber's replicas against their publishers:
+        Merkle digests locate divergent objects; broker/version-store
+        watermarks tell transit lag from §6.5-style loss. Returns an
+        :class:`repro.repair.AuditReport`."""
+        from repro.repair import ReplicationAuditor
+
+        return ReplicationAuditor(self).audit(publisher_name)
+
+    def repair_replication(
+        self,
+        publisher_name: Optional[str] = None,
+        report: Optional[Any] = None,
+        reaudit: bool = True,
+    ) -> Any:
+        """Targeted anti-entropy: re-publish only divergent objects as
+        repair messages (O(divergence), no queue decommission, no
+        re-bootstrap). Returns a :class:`repro.repair.RepairResult`."""
+        from repro.repair import repair_subscriber
+
+        return repair_subscriber(
+            self, publisher_name, report=report, reaudit=reaudit
+        )
+
     def stats(self) -> Dict[str, Any]:
         """Operational counters for dashboards/tests.
 

@@ -64,6 +64,7 @@ def build_message(
     generation: int,
     external_dependencies: Optional[Dict[str, int]] = None,
     bootstrap: bool = False,
+    repair: bool = False,
 ) -> Message:
     return Message(
         app=app,
@@ -72,5 +73,6 @@ def build_message(
         published_at=published_at,
         generation=generation,
         bootstrap=bootstrap,
+        repair=repair,
         external_dependencies=external_dependencies,
     )

@@ -66,6 +66,9 @@ class SynapseSubscriber:
         self._processed = registry.counter(f"subscriber.{service.name}.processed")
         self._stale = registry.counter(f"subscriber.{service.name}.stale_discarded")
         self._duplicates = registry.counter(f"subscriber.{service.name}.duplicates")
+        #: Objects healed by anti-entropy repair messages (targeted
+        #: repair instead of a full re-bootstrap).
+        self._repaired = registry.counter(f"repair.{service.name}.applied_objects")
         #: Time applied messages spent blocked on dependency counters.
         self.dep_wait = registry.histogram(f"subscriber.{service.name}.dep_wait")
         #: Time spent applying operations through the local ORM.
@@ -196,6 +199,13 @@ class SynapseSubscriber:
         if self._already_applied(message.uid):
             self._duplicates.increment()
             return True  # redelivered duplicate: safe to ack again
+        if message.repair:
+            # Anti-entropy repair: never waits (the whole point is to
+            # heal counter deficits that would make waiting eternal) and
+            # bypasses the generation gate, which could itself be
+            # deadlocked behind the very divergence being repaired.
+            self._apply_repair(message)
+            return True
         mode = self.app_modes.get(message.app, WEAK)
         if not self._generation_ready(message):
             return False
@@ -303,6 +313,30 @@ class SynapseSubscriber:
             hashed = hasher.hash(dep_name(message.app, table, operation["id"]))
             out[hashed] = operation
         return out
+
+    def _apply_repair(self, message: Message) -> None:
+        """Anti-entropy repair (``repro.repair``): per object, apply the
+        publisher's current state unless the local replica is already
+        ahead, then *fast-forward* the object's dependency counter to
+        the carried version — unlike :meth:`_apply_weak`'s plain
+        fast-forward-on-apply, the counter heals even for stale-skipped
+        objects, so increments lost with dropped messages (§6.5) stop
+        deadlocking causal delivery without a re-bootstrap."""
+        start = trace_now()
+        store = self.service.subscriber_version_store
+        for hashed, operation in self._object_deps(message).items():
+            version = message.dependencies.get(hashed, 0)
+            if store.is_stale(hashed, version):
+                self._stale.increment()
+            else:
+                self._apply_operation(message.app, operation)
+                self._repaired.increment()
+            store.fast_forward(hashed, version)
+        elapsed = trace_now() - start
+        self.apply_time.record(elapsed)
+        if message.trace is not None:
+            message.trace.add(STAGE_APPLY, start, elapsed)
+        self._finish(message)
 
     def _apply_weak(
         self, message: Message, object_deps: Dict[str, Dict[str, Any]]

@@ -9,6 +9,7 @@ PostgreSQL saturating at 12k writes/s vs Elasticsearch at 20k in Fig 13b).
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -54,12 +55,49 @@ class FaultPlan:
     ``fail_next_writes`` makes the next N write operations raise
     :class:`FaultInjected` (after letting ``skip_next_writes`` through
     first); ``down`` fails every operation until cleared.
+
+    Probabilistic faults (``write_fail_probability`` /
+    ``read_fail_probability``) draw from a private RNG that must be
+    seeded explicitly via :meth:`seed` (or
+    :meth:`set_fault_probabilities`) — chaos runs that seed from global
+    state are not reproducible, so an unseeded probabilistic plan is an
+    error rather than a silent ``random.random()``.
     """
 
     fail_next_writes: int = 0
     skip_next_writes: int = 0
     down: bool = False
+    write_fail_probability: float = 0.0
+    read_fail_probability: float = 0.0
+    _rng: Optional[random.Random] = field(default=None, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def seed(self, seed: int) -> "FaultPlan":
+        """Install a deterministic RNG for the probabilistic faults."""
+        with self._lock:
+            self._rng = random.Random(seed)
+        return self
+
+    def set_fault_probabilities(
+        self,
+        write: float = 0.0,
+        read: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Configure random faults; a seed is mandatory (explicitly here
+        or through a prior :meth:`seed` call) whenever any probability
+        is non-zero."""
+        if seed is not None:
+            self.seed(seed)
+        with self._lock:
+            if (write > 0 or read > 0) and self._rng is None:
+                raise ValueError(
+                    "probabilistic engine faults need an explicit seed: "
+                    "call FaultPlan.seed(n) or pass seed= here"
+                )
+            self.write_fail_probability = write
+            self.read_fail_probability = read
+        return self
 
     def check_write(self) -> None:
         with self._lock:
@@ -71,11 +109,26 @@ class FaultPlan:
             if self.fail_next_writes > 0:
                 self.fail_next_writes -= 1
                 raise FaultInjected("injected write failure")
+            if self.write_fail_probability > 0:
+                self._check_seeded()
+                if self._rng.random() < self.write_fail_probability:
+                    raise FaultInjected("injected random write failure")
 
     def check_read(self) -> None:
         with self._lock:
             if self.down:
                 raise FaultInjected("engine is down")
+            if self.read_fail_probability > 0:
+                self._check_seeded()
+                if self._rng.random() < self.read_fail_probability:
+                    raise FaultInjected("injected random read failure")
+
+    def _check_seeded(self) -> None:
+        if self._rng is None:
+            raise ValueError(
+                "probabilistic engine faults need an explicit seed: "
+                "call FaultPlan.seed(n) first"
+            )
 
 
 class Database:

@@ -1,0 +1,52 @@
+"""Anti-entropy: replica digests, lag auditing and targeted repair.
+
+The paper's only remedy for lost write-messages is heavyweight: the
+§6.5 production incident (message loss → causal deadlock) ends in a
+queue decommission and a full §4.4 re-bootstrap of the subscriber —
+O(dataset) work to heal what may be a single lost message. This
+subsystem makes divergence *detectable* and *repairable* at fine grain:
+
+- :mod:`repro.repair.digest` computes per-model **replica digests** —
+  Merkle trees keyed by object id over the published-attribute
+  projection, built through the per-engine mappers so a relational
+  publisher and a document/graph/search subscriber hash identical
+  logical rows;
+- :mod:`repro.repair.auditor` runs the **ReplicationAuditor**, comparing
+  publisher vs subscriber digests plus broker and version-store
+  watermarks to tell transit *lag* (messages queued or in flight) from
+  *loss* (divergence with an idle queue), pinpointing divergent objects
+  by Merkle descent;
+- :mod:`repro.repair.repairer` performs **targeted repair**:
+  re-publishing only the divergent objects as ordinary versioned write
+  messages through the existing publisher path, so recovery costs
+  O(divergence) instead of O(dataset) and no queue is decommissioned.
+"""
+
+from repro.repair.auditor import (
+    AuditReport,
+    LagReport,
+    ModelAudit,
+    ReplicationAuditor,
+)
+from repro.repair.digest import (
+    MerkleTree,
+    ModelDigest,
+    publisher_model_digest,
+    row_digest,
+    subscriber_model_digest,
+)
+from repro.repair.repairer import RepairResult, repair_subscriber
+
+__all__ = [
+    "AuditReport",
+    "LagReport",
+    "MerkleTree",
+    "ModelAudit",
+    "ModelDigest",
+    "RepairResult",
+    "ReplicationAuditor",
+    "publisher_model_digest",
+    "repair_subscriber",
+    "row_digest",
+    "subscriber_model_digest",
+]

@@ -40,6 +40,14 @@ STAGE_APPLY = "subscriber.apply"
 MARK_ENQUEUED = "queue.enqueued"
 MARK_ACKED = "subscriber.ack"
 
+# Anti-entropy stages: an audit run records one standalone trace (no
+# message rides along) with digest-build, Merkle-diff and repair-publish
+# spans, so `python -m repro repair --demo` and tests can see where an
+# audit spends its time.
+STAGE_AUDIT_DIGEST = "audit.digest"
+STAGE_AUDIT_DIFF = "audit.merkle_diff"
+STAGE_REPAIR_PUBLISH = "repair.publish"
+
 PIPELINE_STAGES = (
     STAGE_INTERCEPT,
     STAGE_COLLECT,
@@ -49,6 +57,9 @@ PIPELINE_STAGES = (
     STAGE_DWELL,
     STAGE_DEP_WAIT,
     STAGE_APPLY,
+    STAGE_AUDIT_DIGEST,
+    STAGE_AUDIT_DIFF,
+    STAGE_REPAIR_PUBLISH,
 )
 
 

@@ -196,6 +196,12 @@ class PublisherVersionStore:
             out[key[len("v:"):]] = fields.get("ops", 0)
         return out
 
+    def watermark(self) -> int:
+        """Total operations registered across every dependency — the
+        publisher-side high-water mark an auditor compares against the
+        subscriber's :meth:`SubscriberVersionStore.watermark`."""
+        return sum(self.snapshot().values())
+
     def flush(self) -> None:
         self.kv.flushall()
 
@@ -220,6 +226,29 @@ class SubscriberVersionStore:
 
     def ops(self, hashed_dep: str) -> int:
         return self.kv.hget(self._key(hashed_dep), "ops") or 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """hashed_dep -> ops across every shard (audit watermarks)."""
+        out: Dict[str, int] = {}
+        for shard in self.kv.shards:
+            for key in shard.keys("s:"):
+                out[key[len("s:"):]] = shard.hget(key, "ops") or 0
+        return out
+
+    def watermark(self) -> int:
+        """Total dependency increments seen by this subscriber."""
+        return sum(self.snapshot().values())
+
+    def lag_behind(self, publisher_snapshot: Dict[str, int]) -> int:
+        """Sum of per-dependency counter deficits vs a publisher
+        snapshot: how many operation increments this store has not seen.
+        Zero means every dependency is at (or past) the publisher's
+        watermark; a persistent positive value with an empty queue is
+        the §6.5 loss signature."""
+        return sum(
+            max(0, ops - self.ops(hashed_dep))
+            for hashed_dep, ops in publisher_snapshot.items()
+        )
 
     def satisfied(self, dependencies: Dict[str, int]) -> bool:
         return all(self.ops(dep) >= version for dep, version in dependencies.items())

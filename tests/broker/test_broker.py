@@ -175,3 +175,83 @@ class TestFaultInjection:
             broker.publish(make_message(app="pub", op_id=i))
         assert 20 < len(q) < 80
         assert len(q) + broker.dropped_messages == 100
+
+
+class TestQueueStats:
+    def test_stats_track_queued_and_in_flight(self):
+        queue = SubscriberQueue("sub")
+        queue.publish(make_message(op_id=1))
+        queue.publish(make_message(op_id=2))
+        assert queue.stats() == {
+            "queued": 2, "in_flight": 0, "published": 2, "acked": 0,
+            "decommissioned": 0,
+        }
+        delivery = queue.pop()
+        stats = queue.stats()
+        assert (stats["queued"], stats["in_flight"]) == (1, 1)
+        queue.ack(delivery)
+        stats = queue.stats()
+        assert (stats["in_flight"], stats["acked"]) == (0, 1)
+
+    def test_broker_in_flight_view(self):
+        broker = Broker()
+        q = broker.bind("sub", "pub")
+        broker.publish(make_message(app="pub"))
+        assert broker.in_flight() == {"sub": 0}
+        q.pop()
+        assert broker.in_flight() == {"sub": 1}
+
+    def test_broker_queue_stats_filter(self):
+        broker = Broker()
+        broker.bind("sub1", "pub")
+        broker.bind("sub2", "pub")
+        broker.publish(make_message(app="pub"))
+        all_stats = broker.queue_stats()
+        assert set(all_stats) == {"sub1", "sub2"}
+        only = broker.queue_stats("sub1")
+        assert set(only) == {"sub1"}
+        assert only["sub1"]["queued"] == 1
+        assert broker.queue_stats("nobody") == {}
+
+    def test_stats_show_decommission(self):
+        broker = Broker(default_queue_limit=2)
+        broker.bind("sub", "pub")
+        for i in range(3):
+            broker.publish(make_message(app="pub", op_id=i))
+        stats = broker.queue_stats("sub")["sub"]
+        assert stats["decommissioned"] == 1
+        assert stats["queued"] == 0  # backlog was dropped with the queue
+
+
+class TestReseed:
+    def test_reseed_reproduces_loss_sequence(self):
+        """Chaos runs must be replayable from any point: after reseed,
+        the same publishes see the same drops."""
+        def run(broker):
+            broker.loss_probability = 0.5
+            q = broker.bind("sub", "pub") if "sub" not in broker.backlog() \
+                else broker.queue_for("sub")
+            survived = []
+            for i in range(50):
+                before = len(q)
+                broker.publish(make_message(app="pub", op_id=i))
+                survived.append(len(q) > before)
+            return survived
+
+        first = Broker(seed=7)
+        pattern_a = run(first)
+        first.reseed(7)
+        pattern_b = run(first)
+        assert pattern_a == pattern_b
+
+    def test_reseed_differs_across_seeds(self):
+        broker = Broker(seed=1)
+        broker.loss_probability = 0.5
+        broker.bind("sub", "pub")
+        draws_a = [broker._should_drop() for _ in range(64)]
+        broker.reseed(2)
+        draws_b = [broker._should_drop() for _ in range(64)]
+        broker.reseed(1)
+        draws_c = [broker._should_drop() for _ in range(64)]
+        assert draws_a == draws_c
+        assert draws_a != draws_b

@@ -184,3 +184,65 @@ class TestMessageLossIncident:
         bootstrap_subscriber(sub)
         assert SubUser.find(user.id).name == "v3"
         assert len(sub.subscriber.queue) == 0
+
+
+class TestQueueLimitPath:
+    """The default_queue_limit decommission path, end to end (§4.4)."""
+
+    def test_exactly_at_limit_survives(self, eco):
+        pub, User = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        for i in range(50):  # queue_limit=50: at the limit, not over
+            User.create(name=f"u{i}")
+        assert not sub.subscriber.queue.decommissioned
+        sub.subscriber.drain()
+        assert SubUser.count() == 50
+
+    def test_one_over_limit_decommissions(self, eco):
+        pub, User = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        for i in range(51):
+            User.create(name=f"u{i}")
+        queue = sub.subscriber.queue
+        assert queue.decommissioned
+        # The backlog is gone with the queue; lifetime counters remain.
+        stats = eco.broker.queue_stats("sub")["sub"]
+        assert stats["decommissioned"] == 1
+        assert stats["queued"] == 0
+        assert stats["published"] == 51
+
+    def test_decommissioned_queue_drops_new_traffic(self, eco):
+        pub, User = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        for i in range(60):
+            User.create(name=f"u{i}")
+        assert sub.subscriber.queue.decommissioned
+        User.create(name="while-dead")  # silently dropped, no overflow error
+        assert len(sub.subscriber.queue) == 0
+
+    def test_bootstrap_fully_recovers_overflowed_subscriber(self, eco):
+        """The satellite acceptance path: over-limit decommission, then
+        bootstrap_subscriber restores every object and live traffic."""
+        pub, User = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        for i in range(75):
+            User.create(name=f"u{i}")
+        assert sub.subscriber.queue.decommissioned
+        applied = bootstrap_subscriber(sub)
+        assert applied == 75
+        assert SubUser.count() == 75
+        assert not sub.subscriber.queue.decommissioned
+        # Digest-level proof of full recovery, and live traffic flows.
+        assert sub.audit_replication().in_sync
+        User.create(name="fresh")
+        sub.subscriber.drain()
+        assert SubUser.count() == 76
+
+    def test_audit_reports_decommissioned_queue(self, eco):
+        pub, User = make_publisher(eco)
+        sub, SubUser = make_subscriber(eco)
+        for i in range(60):
+            User.create(name=f"u{i}")
+        report = sub.audit_replication()
+        assert report.lag["pub"].decommissioned
+        assert not report.in_sync

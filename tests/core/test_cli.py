@@ -41,3 +41,22 @@ class TestCLI:
 
     def test_unknown_demo(self, capsys):
         assert main(["demo", "nope"]) == 1
+
+    def test_repair_demo(self, capsys):
+        assert main(["repair", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "repair.pub.republished" in out
+        assert "OK: replicas digest-equal, queue intact" in out
+
+    def test_repair_demo_with_flags(self, capsys):
+        assert main(["repair", "--demo", "--objects", "10", "--lose", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replicated 10 objects; injecting loss of 2 messages" in out
+
+    def test_repair_without_demo_flag(self, capsys):
+        assert main(["repair"]) == 1
+
+    def test_help_mentions_repair(self, capsys):
+        assert main(["--help"]) == 0
+        assert "repair --demo" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Fault-injection determinism: every fault RNG takes an explicit seed.
+
+Chaos tests that seed from global state cannot be replayed; the audit
+rule is that probabilistic faults without an explicit seed are an error,
+and that the same seed always yields the same fault sequence.
+"""
+
+import pytest
+
+from repro.databases.base import FaultPlan
+from repro.databases.document import MongoLike
+from repro.errors import FaultInjected
+
+
+def fault_pattern(plan: FaultPlan, draws: int = 64) -> list:
+    pattern = []
+    for _ in range(draws):
+        try:
+            plan.check_write()
+            pattern.append(False)
+        except FaultInjected:
+            pattern.append(True)
+    return pattern
+
+
+class TestSeededFaults:
+    def test_probability_without_seed_rejected(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError, match="explicit seed"):
+            plan.set_fault_probabilities(write=0.5)
+
+    def test_read_probability_without_seed_rejected(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError, match="explicit seed"):
+            plan.set_fault_probabilities(read=0.1)
+
+    def test_same_seed_same_fault_sequence(self):
+        a = FaultPlan().set_fault_probabilities(write=0.3, seed=99)
+        b = FaultPlan().set_fault_probabilities(write=0.3, seed=99)
+        assert fault_pattern(a) == fault_pattern(b)
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlan().set_fault_probabilities(write=0.5, seed=1)
+        b = FaultPlan().set_fault_probabilities(write=0.5, seed=2)
+        assert fault_pattern(a) != fault_pattern(b)
+
+    def test_seed_then_probabilities(self):
+        plan = FaultPlan().seed(5)
+        plan.set_fault_probabilities(write=0.4)  # seed already installed
+        assert any(fault_pattern(plan))
+
+    def test_zero_probability_needs_no_seed(self):
+        plan = FaultPlan().set_fault_probabilities(write=0.0, read=0.0)
+        plan.check_write()
+        plan.check_read()
+
+    def test_read_faults_deterministic(self):
+        def read_pattern(plan):
+            out = []
+            for _ in range(64):
+                try:
+                    plan.check_read()
+                    out.append(False)
+                except FaultInjected:
+                    out.append(True)
+            return out
+
+        a = FaultPlan().set_fault_probabilities(read=0.3, seed=11)
+        b = FaultPlan().set_fault_probabilities(read=0.3, seed=11)
+        assert read_pattern(a) == read_pattern(b)
+        assert any(read_pattern(FaultPlan().set_fault_probabilities(
+            read=0.9, seed=3)))
+
+    def test_deterministic_counters_unaffected(self):
+        """The existing fail_next/skip_next counters need no RNG."""
+        plan = FaultPlan(fail_next_writes=1, skip_next_writes=1)
+        plan.check_write()  # skipped
+        with pytest.raises(FaultInjected):
+            plan.check_write()
+        plan.check_write()  # plan exhausted
+
+    def test_engine_level_seeded_faults(self):
+        """A real engine wired with a seeded plan fails reproducibly."""
+        def run(seed):
+            db = MongoLike(f"m-{seed}")
+            db.faults.set_fault_probabilities(write=0.5, seed=seed)
+            outcomes = []
+            for i in range(32):
+                try:
+                    db.insert_one("users", {"name": f"u{i}"})
+                    outcomes.append("ok")
+                except FaultInjected:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

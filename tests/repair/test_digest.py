@@ -1,0 +1,172 @@
+"""Merkle replica digests: alignment, descent, cross-engine hashing."""
+
+import pytest
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.databases.search import ElasticsearchLike
+from repro.orm import Field, Model
+from repro.repair.digest import (
+    MerkleTree,
+    publisher_model_digest,
+    row_digest,
+    subscriber_model_digest,
+)
+
+
+class TestRowDigest:
+    def test_same_projection_same_digest(self):
+        assert row_digest({"a": 1, "b": "x"}) == row_digest({"b": "x", "a": 1})
+
+    def test_different_values_differ(self):
+        assert row_digest({"a": 1}) != row_digest({"a": 2})
+
+    def test_engine_representation_normalised(self):
+        # Engines may hand back tuples vs lists; JSON canonicalisation
+        # makes them hash identically.
+        assert row_digest({"tags": (1, 2)}) == row_digest({"tags": [1, 2]})
+
+
+class TestMerkleTree:
+    def test_equal_contents_equal_roots(self):
+        a = MerkleTree({i: f"h{i}" for i in range(100)})
+        b = MerkleTree({i: f"h{i}" for i in reversed(range(100))})
+        assert a.root == b.root
+        assert a.diff(b).divergent_ids == []
+
+    def test_diff_finds_changed_missing_and_extra(self):
+        a = MerkleTree({1: "a", 2: "b", 3: "c"})
+        b = MerkleTree({1: "a", 2: "X", 4: "d"})
+        assert sorted(a.diff(b).divergent_ids) == [2, 3, 4]
+
+    def test_descent_work_scales_with_divergence_not_size(self):
+        """The point of the Merkle structure: one divergent object in a
+        big dataset costs a root-to-leaf walk, not a full scan."""
+        big = {i: f"h{i}" for i in range(5000)}
+        a = MerkleTree(big, leaves=256)
+        changed = dict(big)
+        changed[17] = "MUTATED"
+        b = MerkleTree(changed, leaves=256)
+        diff = a.diff(b)
+        assert diff.divergent_ids == [17]
+        # Tree has 256 leaves + internal levels; a full compare would be
+        # hundreds of nodes. The descent touches one path's fan-outs.
+        assert diff.nodes_compared < 40
+
+    def test_identical_roots_compare_one_node(self):
+        a = MerkleTree({i: "h" for i in range(50)})
+        b = MerkleTree({i: "h" for i in range(50)})
+        assert a.diff(b).nodes_compared == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree({1: "a"}, leaves=16).diff(MerkleTree({1: "a"}, leaves=32))
+
+    def test_has(self):
+        tree = MerkleTree({1: "a", "doc-9": "b"})
+        assert tree.has(1)
+        assert tree.has("doc-9")
+        assert not tree.has(2)
+
+    def test_empty_trees_are_equal(self):
+        assert MerkleTree({}).diff(MerkleTree({})).divergent_ids == []
+
+
+class TestModelDigests:
+    """Digests built through real engines must agree across engines."""
+
+    def _ecosystem(self, sub_db):
+        eco = Ecosystem()
+        pub = eco.service("pub", database=MongoLike("pub-db"))
+
+        @pub.model(publish=["name", "score"], name="User")
+        class User(Model):
+            name = Field(str)
+            score = Field(int, default=0)
+
+        sub = eco.service("sub", database=sub_db)
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name", "score"]},
+                   name="User")
+        class SubUser(Model):
+            name = Field(str)
+            score = Field(int, default=0)
+
+        return eco, pub, sub
+
+    @pytest.mark.parametrize("sub_db_factory", [
+        lambda: PostgresLike("sub-pg"),
+        lambda: ElasticsearchLike("sub-es"),
+        lambda: MongoLike("sub-mongo"),
+    ])
+    def test_heterogeneous_replicas_hash_identically(self, sub_db_factory):
+        eco, pub, sub = self._ecosystem(sub_db_factory())
+        User = pub.registry["User"]
+        for i in range(10):
+            User.create(name=f"u{i}", score=i)
+        sub.subscriber.drain()
+        spec = sub.subscriber.specs[("pub", "User")]
+        pub_digest = publisher_model_digest(pub, "User",
+                                            remote_fields=list(spec.fields))
+        sub_digest = subscriber_model_digest(sub, spec)
+        assert pub_digest.root == sub_digest.root
+        assert pub_digest.divergent_ids(sub_digest).divergent_ids == []
+
+    def test_local_mutation_changes_subscriber_digest(self):
+        eco, pub, sub = self._ecosystem(PostgresLike("sub-pg"))
+        User = pub.registry["User"]
+        user = User.create(name="a", score=1)
+        sub.subscriber.drain()
+        spec = sub.subscriber.specs[("pub", "User")]
+        # Corrupt the subscriber replica behind Synapse's back.
+        sub.registry["User"].__mapper__._do_update(user.id, {"score": 999})
+        pub_digest = publisher_model_digest(pub, "User",
+                                            remote_fields=list(spec.fields))
+        sub_digest = subscriber_model_digest(sub, spec)
+        assert pub_digest.root != sub_digest.root
+        assert pub_digest.divergent_ids(sub_digest).divergent_ids == [user.id]
+
+    def test_renamed_fields_hash_against_remote_names(self):
+        """`fields: {remote: local}` subscriptions compare on the
+        publisher-side attribute names."""
+        eco = Ecosystem()
+        pub = eco.service("pub", database=MongoLike("pub-db"))
+
+        @pub.model(publish=["name"], name="User")
+        class User(Model):
+            name = Field(str)
+
+        sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+        @sub.model(subscribe={"from": "pub", "fields": {"name": "title"}},
+                   name="User")
+        class SubUser(Model):
+            title = Field(str)
+
+        User.create(name="ada")
+        sub.subscriber.drain()
+        spec = sub.subscriber.specs[("pub", "User")]
+        pub_digest = publisher_model_digest(pub, "User",
+                                            remote_fields=list(spec.fields))
+        sub_digest = subscriber_model_digest(sub, spec)
+        assert pub_digest.fields == sub_digest.fields == ["name"]
+        assert pub_digest.root == sub_digest.root
+
+    def test_observer_has_no_digest(self):
+        eco = Ecosystem()
+        pub = eco.service("pub", database=MongoLike("pub-db"))
+
+        @pub.model(publish=["name"], name="User")
+        class User(Model):
+            name = Field(str)
+
+        sub = eco.service("sub")
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]},
+                   observer=True, name="User")
+        class SubUser(Model):
+            name = Field(str)
+
+        spec = sub.subscriber.specs[("pub", "User")]
+        assert subscriber_model_digest(sub, spec) is None
