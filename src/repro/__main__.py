@@ -9,6 +9,12 @@ Commands:
         run a small publisher->subscriber scenario and print the
         MetricsRegistry snapshot; with --trace, also print the
         per-stage spans of one end-to-end traced message
+    conformance [--seeds N] [--mode causal|global|weak] [--crash]
+                [--seed K --faults F --generation-bump --queue-limit Q]
+        deterministic delivery-semantics conformance: directed race
+        scenarios plus a seeded-schedule sweep over the real
+        queue/subscriber/version-store code; with --seed K, replay one
+        schedule and dump its violations and trace tail
     repair --demo [--objects N] [--lose K]
         reproduce the §6.5 message-loss incident (lost write-messages
         wedging a causal subscriber), audit replica divergence with
@@ -195,6 +201,10 @@ def main(argv: list) -> int:
         return 0
     if command == "metrics":
         return _metrics_command("--trace" in args)
+    if command == "conformance":
+        from repro.runtime.conformance.cli import conformance_command
+
+        return conformance_command(args)
     if command == "repair":
         def _flag(name: str, default: int) -> int:
             if name in args:

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Dict, List, Optional
 
 from repro.broker.message import Message
 from repro.errors import BrokerError, QueueDecommissioned
+from repro.runtime.interleave import yield_point
 from repro.runtime.tracing import MARK_ACKED, MARK_ENQUEUED, STAGE_DWELL, trace_now
 
 
@@ -18,6 +20,10 @@ class SubscriberQueue:
     it; ``nack`` (or :meth:`requeue_unacked`) pushes it back to the front
     for redelivery. When the backlog exceeds ``max_size`` the queue is
     killed and the subscriber must re-bootstrap (§4.4).
+
+    The ``yield_point`` calls mark the interleaving boundaries driven by
+    the deterministic conformance harness; they are no-ops in production
+    and always sit *outside* ``self._lock``.
     """
 
     def __init__(self, name: str, max_size: Optional[int] = None) -> None:
@@ -34,18 +40,30 @@ class SubscriberQueue:
     # -- broker side ---------------------------------------------------------
 
     def publish(self, message: Message) -> None:
+        yield_point("queue.publish", queue=self.name, message=message)
         with self._lock:
             if self.decommissioned:
-                return  # dropped: the subscriber is out of the ecosystem
-            if message.trace is not None:
-                message.trace.mark(MARK_ENQUEUED)
-            self._items.append(message)
-            self.total_published += 1
-            if self.max_size is not None and len(self._items) > self.max_size:
-                self._items.clear()
-                self._unacked.clear()
-                self.decommissioned = True
-            self._available.notify_all()
+                dropped, killed = True, False
+            else:
+                if message.trace is not None:
+                    message.trace.mark(MARK_ENQUEUED)
+                self._items.append(message)
+                self.total_published += 1
+                dropped = False
+                killed = (
+                    self.max_size is not None and len(self._items) > self.max_size
+                )
+                if killed:
+                    self._items.clear()
+                    self._unacked.clear()
+                    self.decommissioned = True
+                self._available.notify_all()
+        if dropped:
+            yield_point("queue.drop.decommissioned", queue=self.name, message=message)
+            return
+        yield_point("queue.published", queue=self.name, message=message)
+        if killed:
+            yield_point("queue.decommissioned", queue=self.name)
 
     def recommission(self) -> None:
         """Bring a killed queue back (start of a partial bootstrap)."""
@@ -59,13 +77,28 @@ class SubscriberQueue:
     def pop(self, timeout: Optional[float] = 0.0) -> Optional[Message]:
         """Take the next message (it stays unacked until :meth:`ack`).
 
-        ``timeout=0`` polls; ``timeout=None`` blocks indefinitely.
+        ``timeout=0`` polls; ``timeout=None`` blocks indefinitely. The
+        wait is a predicate re-check loop against a shared deadline: a
+        spurious wakeup, or a notify consumed by a faster worker, puts
+        the caller back to sleep for the *remaining* time instead of
+        returning ``None`` early (a dropped delivery from the caller's
+        point of view).
         """
+        yield_point("queue.pop", queue=self.name)
         with self._lock:
             if self.decommissioned:
                 raise QueueDecommissioned(self.name)
             if not self._items and timeout != 0.0:
-                self._available.wait(timeout)
+                if timeout is None:
+                    while not self._items and not self.decommissioned:
+                        self._available.wait()
+                else:
+                    deadline = time.monotonic() + timeout
+                    while not self._items and not self.decommissioned:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._available.wait(remaining)
             if self.decommissioned:
                 raise QueueDecommissioned(self.name)
             if not self._items:
@@ -78,26 +111,45 @@ class SubscriberQueue:
                 enqueued = message.trace.marks.get(MARK_ENQUEUED)
                 if enqueued is not None:
                     message.trace.add(STAGE_DWELL, enqueued, trace_now() - enqueued)
-            return message
+        yield_point("queue.popped", queue=self.name, message=message)
+        return message
 
     def ack(self, message: Message) -> None:
+        yield_point("queue.ack", queue=self.name, message=message)
         with self._lock:
-            if message.seq not in self._unacked:
-                raise BrokerError(f"ack of unknown delivery {message.seq}")
-            del self._unacked[message.seq]
-            self.total_acked += 1
-            if message.trace is not None:
-                message.trace.mark(MARK_ACKED)
+            tolerated = message.seq not in self._unacked
+            if tolerated:
+                if not self.decommissioned:
+                    raise BrokerError(f"ack of unknown delivery {message.seq}")
+                # Decommission cleared the in-flight table while this
+                # delivery was mid-message: the ack is a tolerated no-op
+                # (the worker learns about the decommission on its next
+                # pop and routes it to on_deadlock).
+            else:
+                del self._unacked[message.seq]
+                self.total_acked += 1
+                if message.trace is not None:
+                    message.trace.mark(MARK_ACKED)
+        if tolerated:
+            yield_point("queue.ack.tolerated", queue=self.name, message=message)
+        else:
+            yield_point("queue.acked", queue=self.name, message=message)
 
     def nack(self, message: Message) -> None:
         """Return an unacked message to the front of the queue."""
+        yield_point("queue.nack", queue=self.name, message=message)
         with self._lock:
-            if message.seq in self._unacked:
+            tolerated = self.decommissioned or message.seq not in self._unacked
+            if not tolerated:
                 del self._unacked[message.seq]
                 if message.trace is not None:
                     message.trace.mark(MARK_ENQUEUED)  # dwell restarts
                 self._items.appendleft(message)
                 self._available.notify_all()
+        if tolerated:
+            yield_point("queue.nack.tolerated", queue=self.name, message=message)
+        else:
+            yield_point("queue.nacked", queue=self.name, message=message)
 
     def requeue_unacked(self) -> int:
         """Crash recovery: everything in flight goes back on the queue."""
@@ -109,7 +161,9 @@ class SubscriberQueue:
             self._unacked.clear()
             if count:
                 self._available.notify_all()
-            return count
+        if count:
+            yield_point("queue.requeued", queue=self.name, count=count)
+        return count
 
     # -- introspection ----------------------------------------------------------
 
@@ -139,3 +193,13 @@ class SubscriberQueue:
     def peek_all(self) -> List[Message]:
         with self._lock:
             return list(self._items)
+
+    def peek_unacked(self) -> List[Message]:
+        """Deliveries popped but not yet acked/nacked, in seq order.
+
+        The generation gate needs these: a message held by a parallel
+        worker is invisible to :meth:`peek_all`, and flushing dependency
+        counters while it is mid-apply wipes state the apply is about to
+        bump."""
+        with self._lock:
+            return sorted(self._unacked.values(), key=lambda m: m.seq)

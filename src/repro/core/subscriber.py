@@ -20,6 +20,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.broker.message import Message
 from repro.core.delivery import (
     CAUSAL,
+    GLOBAL,
+    GLOBAL_OBJECT,
     WEAK,
     check_subscription_mode,
     effective_dependencies,
@@ -29,6 +31,7 @@ from repro.errors import QueueDecommissioned, SubscriptionError
 from repro.orm.associations import snake_case
 from repro.orm.callbacks import run_callbacks
 from repro.orm.model import pluralize
+from repro.runtime.interleave import observe_point, yield_point
 from repro.runtime.tracing import STAGE_APPLY, STAGE_DEP_WAIT, trace_now
 
 
@@ -84,6 +87,13 @@ class SynapseSubscriber:
         self._applied_lock = threading.Lock()
         self._applied_uids: "deque[str]" = deque(maxlen=4096)
         self._applied_uid_set: set = set()
+        # Per-object serialisation of the weak/repair fresh-or-discard
+        # paths: the stale check, the ORM write and the counter
+        # fast-forward must be one atomic step per object, or two
+        # parallel workers can interleave check-then-apply and land an
+        # older version on top of a newer one.
+        self._object_locks: Dict[str, threading.Lock] = {}
+        self._object_locks_guard = threading.Lock()
 
     # -- migrated ad-hoc counters (registry-backed, read-only views) -------
 
@@ -160,6 +170,11 @@ class SynapseSubscriber:
                         break
                     pending.append(message)
             except QueueDecommissioned:
+                # Messages popped in earlier rounds must not leak as
+                # phantom in-flight deliveries: return them (a tolerated
+                # no-op on the dead queue) before propagating.
+                for message in pending:
+                    self.queue.nack(message)
                 raise
             progress = False
             remaining: List[Message] = []
@@ -198,6 +213,7 @@ class SynapseSubscriber:
         """Apply one message if its dependencies allow; True when done."""
         if self._already_applied(message.uid):
             self._duplicates.increment()
+            yield_point("dedup.duplicate", message=message)
             return True  # redelivered duplicate: safe to ack again
         if message.repair:
             # Anti-entropy repair: never waits (the whole point is to
@@ -230,6 +246,7 @@ class SynapseSubscriber:
             effective_dependencies(message.dependencies, mode, set(object_deps))
         )
         required.update(message.external_dependencies)
+        yield_point("dep.check", message=message, required=required)
         wait_start = trace_now()
         if wait_timeout > 0:
             if not store.wait_satisfied(required, wait_timeout):
@@ -248,6 +265,7 @@ class SynapseSubscriber:
 
     def _apply_timed(self, message: Message) -> None:
         """Apply all operations, feeding the apply histogram/span."""
+        yield_point("apply", message=message)
         start = trace_now()
         self._apply_all(message)
         elapsed = trace_now() - start
@@ -259,6 +277,7 @@ class SynapseSubscriber:
         """Common bookkeeping once a message has been applied."""
         self._mark_applied(message.uid)
         self._processed.increment()
+        yield_point("msg.finished", message=message)
         if message.trace is not None:
             self.service.ecosystem.tracer.record(message.trace)
 
@@ -304,6 +323,14 @@ class SynapseSubscriber:
             self._applied_uids.append(uid)
             self._applied_uid_set.add(uid)
 
+    def _object_lock(self, hashed_dep: str) -> threading.Lock:
+        with self._object_locks_guard:
+            lock = self._object_locks.get(hashed_dep)
+            if lock is None:
+                lock = threading.Lock()
+                self._object_locks[hashed_dep] = lock
+            return lock
+
     def _object_deps(self, message: Message) -> Dict[str, Dict[str, Any]]:
         """hashed object dep -> operation, for the written objects."""
         hasher = self.service.ecosystem.hasher
@@ -326,12 +353,17 @@ class SynapseSubscriber:
         store = self.service.subscriber_version_store
         for hashed, operation in self._object_deps(message).items():
             version = message.dependencies.get(hashed, 0)
-            if store.is_stale(hashed, version):
-                self._stale.increment()
-            else:
-                self._apply_operation(message.app, operation)
-                self._repaired.increment()
-            store.fast_forward(hashed, version)
+            with self._object_lock(hashed):
+                if store.is_stale(hashed, version):
+                    self._stale.increment()
+                else:
+                    observe_point(
+                        "apply.repair", message=message, dep=hashed,
+                        version=version,
+                    )
+                    self._apply_operation(message.app, operation)
+                    self._repaired.increment()
+                store.fast_forward(hashed, version)
         elapsed = trace_now() - start
         self.apply_time.record(elapsed)
         if message.trace is not None:
@@ -346,11 +378,22 @@ class SynapseSubscriber:
         store = self.service.subscriber_version_store
         for hashed, operation in object_deps.items():
             version = message.dependencies.get(hashed, 0)
-            if store.is_stale(hashed, version):
-                self._stale.increment()
-                continue
-            self._apply_operation(message.app, operation)
-            store.fast_forward(hashed, version)
+            yield_point(
+                "apply.weak.claim", message=message, dep=hashed, version=version
+            )
+            with self._object_lock(hashed):
+                if store.is_stale(hashed, version):
+                    self._stale.increment()
+                    observe_point(
+                        "apply.weak.discarded", message=message, dep=hashed,
+                        version=version,
+                    )
+                    continue
+                observe_point(
+                    "apply.weak", message=message, dep=hashed, version=version
+                )
+                self._apply_operation(message.app, operation)
+                store.fast_forward(hashed, version)
 
     def _generation_ready(self, message: Message) -> bool:
         """Handle publisher generation bumps (§4.4): older-generation
@@ -362,9 +405,24 @@ class SynapseSubscriber:
         if message.generation == current:
             return True
         if self.queue is not None:
-            for queued in self.queue.peek_all():
+            # The gate must see *in-flight* deliveries too: an older-
+            # generation message a parallel worker has popped but not yet
+            # acked is no longer queued, and flushing the app's counters
+            # while it is mid-apply wipes state its apply is about to
+            # read and bump. (The message under evaluation is itself in
+            # the unacked table; its equal generation excludes it.)
+            pending = self.queue.peek_all() + self.queue.peek_unacked()
+            for queued in pending:
                 if queued.app == message.app and queued.generation < message.generation:
+                    yield_point(
+                        "generation.deferred",
+                        message=message,
+                        blocked_on=queued,
+                    )
                     return False
+        yield_point(
+            "generation.flush", app=message.app, generation=message.generation
+        )
         self._flush_app_dependencies(message.app)
         self.generations[message.app] = message.generation
         return True
@@ -375,6 +433,16 @@ class SynapseSubscriber:
             for shard in store.kv.shards:
                 for key in shard.keys(f"s:{app}/"):
                     shard.delete(key)
+            if self.app_modes.get(app) == GLOBAL:
+                # The global-ordering dependency carries no app prefix,
+                # so the prefix sweep above misses it. The bumped
+                # publisher restarts global versions at 0; left at its
+                # old high value, the counter makes every new-generation
+                # message trivially "satisfied" and the total order
+                # silently evaporates.
+                hashed = self.service.ecosystem.hasher.hash(GLOBAL_OBJECT)
+                for shard in store.kv.shards:
+                    shard.delete(store._key(hashed))
         else:
             store.flush()  # hashed space: cannot tell apps apart
 

@@ -1,0 +1,428 @@
+"""The conformance harness: seeded schedules over a real pub→sub pair.
+
+One :func:`run_schedule` call builds a fresh two-service ecosystem
+(Mongo-like publisher, Postgres-like subscriber, one published model),
+derives a publisher *workload script* from the seed (creates, updates,
+optional broker drops and a generation bump), and drives it together
+with N virtual subscriber workers under the
+:class:`~repro.runtime.conformance.scheduler.InterleavingScheduler`.
+The :class:`~repro.runtime.conformance.checker.DeliveryChecker` listens
+to every event and asserts the §3.2 delivery-semantics invariants.
+
+Everything observable is derived from the seed: the workload script,
+the worker interleaving, and therefore the normalized trace. Running
+the same :class:`ScheduleConfig` twice yields byte-identical traces —
+that is what makes a failing seed a *replayable* bug report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.delivery import CAUSAL, GLOBAL, WEAK, validate_mode
+from repro.errors import QueueDecommissioned
+from repro.runtime.conformance.checker import (
+    INV_WORKER,
+    DeliveryChecker,
+    Violation,
+)
+from repro.runtime.conformance.scheduler import (
+    InterleavingScheduler,
+    SchedulerStuck,
+)
+from repro.runtime.interleave import observe_point, yield_point
+
+#: Invariant name for schedules that never quiesce (wedged scheduler).
+INV_QUIESCENCE = "schedule.quiescence"
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Everything that determines one schedule, and nothing else."""
+
+    mode: str = CAUSAL
+    seed: int = 0
+    workers: int = 3
+    messages: int = 10
+    max_deliveries: int = 12
+    #: Crash one worker mid-message and run a recovery worker that
+    #: calls ``requeue_unacked`` (at-least-once + dedup coverage).
+    crash_recovery: bool = False
+    #: Drop this many routed messages at the broker (§6.5 loss).
+    faults: int = 0
+    #: Publisher version-store death mid-stream (§4.4 generation bump).
+    generation_bump: bool = False
+    #: Decommission threshold for the subscriber queue (None = unbounded).
+    queue_limit: Optional[int] = None
+    #: Dependency-hash space (None = full names).
+    hash_space: Optional[int] = None
+    max_steps: int = 50_000
+
+    def describe(self) -> str:
+        extras = []
+        if self.crash_recovery:
+            extras.append("crash")
+        if self.faults:
+            extras.append(f"faults={self.faults}")
+        if self.generation_bump:
+            extras.append("genbump")
+        if self.queue_limit is not None:
+            extras.append(f"qlimit={self.queue_limit}")
+        suffix = f" [{','.join(extras)}]" if extras else ""
+        return f"mode={self.mode} seed={self.seed}{suffix}"
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one schedule: violations, stats and a normalized trace."""
+
+    config: ScheduleConfig
+    violations: List[Violation]
+    trace: List[str]
+    steps: int
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def replay_command(self) -> str:
+        """The CLI line that replays exactly this schedule."""
+        parts = [
+            "python -m repro conformance",
+            f"--mode {self.config.mode}",
+            f"--seed {self.config.seed}",
+            f"--workers {self.config.workers}",
+            f"--messages {self.config.messages}",
+        ]
+        if self.config.crash_recovery:
+            parts.append("--crash")
+        if self.config.faults:
+            parts.append(f"--faults {self.config.faults}")
+        if self.config.generation_bump:
+            parts.append("--generation-bump")
+        if self.config.queue_limit is not None:
+            parts.append(f"--queue-limit {self.config.queue_limit}")
+        if self.config.hash_space is not None:
+            parts.append(f"--hash-space {self.config.hash_space}")
+        return " ".join(parts)
+
+
+def _build_script(config: ScheduleConfig, rng: random.Random) -> List[Tuple]:
+    """Derive the publisher workload from the seed: object creates
+    followed by seeded updates, with optional fault/generation ops
+    spliced in at seeded positions."""
+    n_objects = max(2, config.messages // 3)
+    ops: List[Tuple] = [("create", i) for i in range(n_objects)]
+    for _ in range(max(0, config.messages - n_objects)):
+        ops.append(("update", rng.randrange(n_objects)))
+    if config.generation_bump:
+        ops.insert(rng.randrange(n_objects, len(ops) + 1), ("bump",))
+    if config.faults:
+        ops.insert(rng.randrange(1, len(ops) + 1), ("drop", config.faults))
+    return ops
+
+
+class ConformanceHarness:
+    """One schedule: ecosystem, workload, virtual workers, checker."""
+
+    def __init__(self, config: ScheduleConfig) -> None:
+        validate_mode(config.mode)
+        self.config = config
+        # Distinct stream from the scheduler's RNG, but derived from the
+        # same seed by pure integer arithmetic (str/tuple seeding would
+        # go through hash(), which is per-process randomized).
+        self.workload_rng = random.Random(config.seed * 0x9E3779B1 + 0x5EED)
+        self.script = _build_script(config, self.workload_rng)
+        self.publisher_done = False
+        self.crashed_uids: set = set()
+        self._phase1_workers = 0
+        self._instances: List[Any] = []
+        # Trace normalization: message uids embed a process-global
+        # counter, so raw uids differ across runs. First-seen aliasing
+        # (m0, m1, ...) makes traces comparable run-to-run.
+        self._aliases: Dict[str, str] = {}
+        self.trace_lines: List[str] = []
+        self._build_ecosystem()
+        self.checker = DeliveryChecker(self.sub.subscriber)
+        self.scheduler = InterleavingScheduler(
+            seed=config.seed, max_steps=config.max_steps
+        )
+        self.scheduler.listeners.append(self.checker.on_event)
+        self.scheduler.listeners.append(self._trace_listener)
+
+    # -- ecosystem ------------------------------------------------------------
+
+    def _build_ecosystem(self) -> None:
+        from repro.core import Ecosystem
+        from repro.databases.document import MongoLike
+        from repro.databases.relational import PostgresLike
+        from repro.orm import Field, Model
+        from repro.versionstore import DependencyHasher
+
+        config = self.config
+        self.eco = Ecosystem(
+            queue_limit=config.queue_limit,
+            seed=config.seed,
+            hasher=DependencyHasher(config.hash_space),
+        )
+        self.pub = self.eco.service(
+            "pub", database=MongoLike("pub-db"), delivery_mode=config.mode
+        )
+
+        @self.pub.model(publish=["name", "value"], name="Doc")
+        class PubDoc(Model):
+            name = Field(str)
+            value = Field(int, default=0)
+
+        self.sub = self.eco.service("sub", database=PostgresLike("sub-db"))
+
+        @self.sub.model(
+            subscribe={
+                "from": "pub",
+                "fields": ["name", "value"],
+                "mode": config.mode,
+            },
+            name="Doc",
+        )
+        class SubDoc(Model):
+            name = Field(str)
+            value = Field(int, default=0)
+
+        self.doc_cls = PubDoc
+
+    # -- trace normalization --------------------------------------------------
+
+    def _alias(self, message: Any) -> str:
+        alias = self._aliases.get(message.uid)
+        if alias is None:
+            alias = f"m{len(self._aliases)}"
+            self._aliases[message.uid] = alias
+        return alias
+
+    def _trace_listener(
+        self, step: int, worker: str, label: str, info: Dict[str, Any]
+    ) -> None:
+        parts = [worker, label]
+        for key in sorted(info):
+            value = info[key]
+            if key in ("message", "blocked_on"):
+                parts.append(f"{key}={self._alias(value)}")
+            elif key == "required":
+                rendered = ",".join(
+                    f"{dep}:{version}" for dep, version in sorted(value.items())
+                )
+                parts.append(f"required={rendered}")
+            elif isinstance(value, (str, int, float, bool)):
+                parts.append(f"{key}={value}")
+        self.trace_lines.append(" ".join(parts))
+
+    # -- virtual workers ------------------------------------------------------
+
+    def _publisher_loop(self) -> None:
+        try:
+            for op in self.script:
+                yield_point("pub.op", kind=op[0])
+                if op[0] == "create":
+                    with self.pub.controller():
+                        self._instances.append(
+                            self.doc_cls.create(name=f"doc-{op[1]}", value=0)
+                        )
+                elif op[0] == "update":
+                    instance = self._instances[op[1]]
+                    with self.pub.controller():
+                        instance.value += 1
+                        instance.save()
+                elif op[0] == "bump":
+                    self.pub.recover_publisher_version_store()
+                    observe_point("pub.generation_bump")
+                elif op[0] == "drop":
+                    self.eco.broker.drop_next(op[1])
+                    observe_point("pub.drop_armed", count=op[1])
+        finally:
+            self.publisher_done = True
+            observe_point("pub.done")
+
+    def _drained(self) -> bool:
+        """Quiescence test for subscriber workers: publisher finished,
+        nothing queued, and anything still unacked belongs to a crashed
+        worker (the recovery worker's problem, not ours)."""
+        if not self.publisher_done:
+            return False
+        queue = self.sub.subscriber.queue
+        if len(queue):
+            return False
+        unacked = {message.uid for message in queue.peek_unacked()}
+        return unacked <= self.crashed_uids
+
+    def _subscriber_loop(self, wid: str, abandon_after: Optional[int] = None) -> None:
+        subscriber = self.sub.subscriber
+        queue = subscriber.queue
+        handled = 0
+        while True:
+            try:
+                yield_point("worker.tick", worker=wid)
+                try:
+                    message = queue.pop(timeout=0.0)
+                except QueueDecommissioned:
+                    observe_point("worker.decommissioned", worker=wid)
+                    return
+                if message is None:
+                    if self._drained():
+                        observe_point("worker.drained", worker=wid)
+                        return
+                    continue
+                done = subscriber.process_message(message, wait_timeout=0.0)
+                handled += 1
+                if abandon_after is not None and handled >= abandon_after:
+                    # Simulated worker crash: exit without ack/nack; the
+                    # delivery stays in the unacked table until recovery
+                    # calls requeue_unacked().
+                    self.crashed_uids.add(message.uid)
+                    observe_point("worker.crashed", worker=wid, message=message)
+                    return
+                if done:
+                    queue.ack(message)
+                elif message.delivery_count >= self.config.max_deliveries:
+                    # §6.5 give-up semantics: a dependency that will
+                    # never arrive (dropped message) must not wedge the
+                    # worker forever.
+                    observe_point("worker.gave_up", worker=wid, message=message)
+                    queue.ack(message)
+                else:
+                    queue.nack(message)
+            except QueueDecommissioned:
+                # Ack/nack of a delivery the decommission cleared: the
+                # fixed queue tolerates the ack; a decommission raised
+                # from a nested pop path lands here and the worker exits
+                # cleanly instead of dying silently.
+                observe_point("worker.decommissioned", worker=wid)
+                return
+            except Exception as exc:  # noqa: BLE001 — the invariant itself
+                self.checker.violation(
+                    INV_WORKER,
+                    f"worker {wid} died on unexpected {type(exc).__name__}: {exc}",
+                )
+                return
+
+    def _phase1_loop(self, wid: str, abandon_after: Optional[int]) -> None:
+        try:
+            self._subscriber_loop(wid, abandon_after)
+        finally:
+            self._phase1_workers -= 1
+
+    def _recovery_loop(self) -> None:
+        queue = self.sub.subscriber.queue
+        while not (self.publisher_done and self._phase1_workers == 0):
+            yield_point("recovery.wait")
+        requeued = queue.requeue_unacked()
+        observe_point("recovery.requeued", count=requeued)
+        self.crashed_uids.clear()
+        self._subscriber_loop("rec")
+
+    # -- running --------------------------------------------------------------
+
+    def run(self) -> ScheduleResult:
+        config = self.config
+        self.scheduler.add_worker("pub", self._publisher_loop)
+        abandon: Dict[str, Optional[int]] = {}
+        for i in range(config.workers):
+            wid = f"w{i}"
+            abandon[wid] = None
+        if config.crash_recovery and config.workers:
+            # Exactly one worker crashes, after a seeded number of
+            # messages; the rest drain normally.
+            abandon["w0"] = self.workload_rng.randint(1, 3)
+        self._phase1_workers = config.workers
+        for i in range(config.workers):
+            wid = f"w{i}"
+            self.scheduler.add_worker(
+                wid,
+                lambda wid=wid: self._phase1_loop(wid, abandon[wid]),
+            )
+        if config.crash_recovery:
+            self.scheduler.add_worker("rec", self._recovery_loop)
+
+        stuck: Optional[SchedulerStuck] = None
+        try:
+            self.scheduler.run()
+        except SchedulerStuck as exc:
+            stuck = exc
+        if stuck is not None:
+            self.checker.violations.append(
+                Violation(INV_QUIESCENCE, str(stuck), step=self.scheduler.steps)
+            )
+        for name, error in self.scheduler.worker_errors().items():
+            self.checker.violation(
+                INV_WORKER,
+                f"virtual worker {name} escaped with "
+                f"{type(error).__name__}: {error}",
+            )
+        violations = self.checker.finalize()
+        queue = self.sub.subscriber.queue
+        stats = {
+            "script_ops": len(self.script),
+            "entered": len(self.checker.entered),
+            "applied": sum(
+                1 for fate in self.checker.entered.values() if fate.finishes
+            ),
+            "duplicates": self.checker.duplicates,
+            "gave_up": len(self.checker.gave_up),
+            "tolerated_acks": self.checker.tolerated_acks,
+            "tolerated_nacks": self.checker.tolerated_nacks,
+            "decommissioned": queue.decommissioned if queue is not None else False,
+            "steps": self.scheduler.steps,
+        }
+        return ScheduleResult(
+            config=config,
+            violations=violations,
+            trace=self.trace_lines,
+            steps=self.scheduler.steps,
+            stats=stats,
+        )
+
+
+def run_schedule(config: ScheduleConfig) -> ScheduleResult:
+    """Run one seeded schedule; the sole entry point tests and the CLI use."""
+    return ConformanceHarness(config).run()
+
+
+def replay_twice(config: ScheduleConfig) -> Tuple[ScheduleResult, ScheduleResult]:
+    """Run the same config twice (fresh ecosystem each time); the two
+    normalized traces must be identical — the determinism self-test."""
+    return run_schedule(config), run_schedule(config)
+
+
+def default_matrix(
+    seeds: int,
+    modes: Optional[List[str]] = None,
+    base: Optional[ScheduleConfig] = None,
+) -> List[ScheduleConfig]:
+    """The sweep the CI smoke step runs: for every mode and seed, one
+    plain schedule plus a crash-recovery variant, with broker faults
+    folded into a slice of the seeds."""
+    base = base or ScheduleConfig()
+    configs: List[ScheduleConfig] = []
+    for mode in modes or [CAUSAL, GLOBAL, WEAK]:
+        for seed in range(seeds):
+            faults = 1 if seed % 4 == 3 else 0
+            configs.append(
+                replace(base, mode=mode, seed=seed, faults=faults)
+            )
+            configs.append(
+                replace(
+                    base,
+                    mode=mode,
+                    seed=seed,
+                    crash_recovery=True,
+                    faults=0,
+                )
+            )
+    return configs
+
+
+def sweep(configs: List[ScheduleConfig]) -> List[ScheduleResult]:
+    """Run every config; results in input order."""
+    return [run_schedule(config) for config in configs]

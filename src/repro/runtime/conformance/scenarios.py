@@ -1,0 +1,315 @@
+"""Directed conformance scenarios for the non-interleaving races.
+
+The seeded harness explores races that live between the delivery yield
+points. Three of the fixed bugs live elsewhere — in wall-clock wait
+loops and teardown paths no interleaving schedule reaches — so each
+gets a *directed* scenario that reproduces its exact failure window and
+reports checker violations under the same stable invariant names:
+
+- :func:`pop_deadline_scenario` (``queue.pop-deadline``): a blocking
+  pop must survive spurious wakeups / stolen notifies and keep waiting
+  until its deadline.
+- :func:`fleet_idle_deadline_scenario` (``fleet.idle-deadline``):
+  ``WorkerFleet.wait_until_idle(timeout=T)`` must treat ``T`` as one
+  shared deadline, not a per-pool, per-round grant.
+- :func:`drain_leak_scenario` (``drain.no-leaked-deliveries``): a
+  queue decommissioned mid-``drain`` must get its already-popped
+  pending messages back (tolerated nacks), not leak them.
+
+The module also pins the *committed schedules* for the two interleaving
+races (generation gate vs in-flight deliveries; ack after
+decommission): seeds found by reverting each fix and sweeping, kept
+here so the regression tests replay exactly the schedule that exposes
+the race window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.broker.message import Message
+from repro.broker.queue import SubscriberQueue
+from repro.errors import QueueDecommissioned
+from repro.runtime.conformance.checker import (
+    INV_IDLE,
+    INV_LEAK,
+    INV_POP,
+    Violation,
+)
+from repro.runtime.conformance.harness import ScheduleConfig
+from repro.runtime.interleave import install_hook, uninstall_hook
+
+# -- committed schedules for the interleaving races --------------------------
+#
+# Found by reverting the fix under test and sweeping seeds until the
+# checker flagged the race, then re-verified green with the fix in
+# place. The regression tests assert both directions *and* that the
+# trace actually enters the race window (the marker event), so the
+# schedules cannot silently rot into not exercising the bug.
+
+#: Generation gate vs in-flight deliveries: with ``peek_unacked``
+#: blinded, this schedule flushes the app's counters while an older-
+#: generation delivery is popped-but-unacked (``generation.flush-safety``).
+GATE_RACE_SCHEDULE = ScheduleConfig(
+    mode="causal", seed=1, workers=3, messages=10, generation_bump=True
+)
+GATE_RACE_MARKER = "generation.deferred"
+
+#: Ack after decommission: with the legacy strict ``ack``, this
+#: schedule kills a worker mid-message when the queue overflows
+#: (``worker.no-silent-death``); with the fix the ack is a tolerated
+#: no-op (``queue.ack.tolerated`` appears in the trace).
+DECOMMISSION_ACK_SCHEDULE = ScheduleConfig(
+    mode="causal", seed=2, workers=3, messages=12, queue_limit=4
+)
+DECOMMISSION_ACK_MARKER = "queue.ack.tolerated"
+
+
+def trace_has(trace: List[str], marker: str) -> bool:
+    """Does any normalized trace line contain the given event label?"""
+    return any(marker in line for line in trace)
+
+
+def _plain_message(app: str = "pub") -> Message:
+    return Message(
+        app=app,
+        operations=[],
+        dependencies={},
+        published_at=0.0,
+    )
+
+
+# -- queue.pop-deadline ------------------------------------------------------
+
+def pop_deadline_scenario(
+    timeout: float = 0.5, pokes: int = 3
+) -> List[Violation]:
+    """Spurious-wakeup injection against a blocking ``pop``.
+
+    A consumer blocks in ``pop(timeout=...)`` on an empty queue; we
+    fire several bare ``notify_all`` pokes (the condition-variable
+    wakeups a consumer must treat as spurious — equivalently, notifies
+    stolen by a faster sibling), then publish a real message well
+    before the deadline. A conforming pop re-checks its predicate and
+    keeps waiting; the old single-``wait(timeout)`` implementation
+    returned ``None`` on the first poke, dropping the delivery from
+    the caller's point of view.
+    """
+    queue = SubscriberQueue("conformance-pop")
+    outcome: Dict[str, Any] = {}
+    started = threading.Event()
+
+    def consumer() -> None:
+        started.set()
+        begin = time.monotonic()
+        message = queue.pop(timeout=timeout)
+        outcome["elapsed"] = time.monotonic() - begin
+        outcome["message"] = message
+
+    thread = threading.Thread(target=consumer, daemon=True)
+    thread.start()
+    started.wait(timeout)
+    poke_gap = timeout / (pokes + 3)
+    for _ in range(pokes):
+        time.sleep(poke_gap)
+        with queue._lock:
+            queue._available.notify_all()
+    time.sleep(poke_gap)
+    queue.publish(_plain_message())
+    thread.join(timeout * 4)
+
+    violations: List[Violation] = []
+    if thread.is_alive():
+        violations.append(
+            Violation(INV_POP, "pop never returned after a real publish")
+        )
+    elif outcome.get("message") is None:
+        violations.append(
+            Violation(
+                INV_POP,
+                f"pop returned None after {outcome.get('elapsed', 0):.3f}s "
+                f"with {timeout:.3f}s of patience: a spurious wakeup was "
+                "treated as a timeout and the delivery was dropped",
+            )
+        )
+    return violations
+
+
+# -- fleet.idle-deadline -----------------------------------------------------
+
+class _FakeClock:
+    """Minimal stand-in for the ``time`` module inside workers.py."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += max(0.0, seconds)
+
+
+class _GreedyPool:
+    """A pool that consumes every second of whatever timeout it is
+    granted before reporting idle — the worst case for a fleet that
+    hands each pool its own full budget."""
+
+    def __init__(self, clock: _FakeClock) -> None:
+        self._clock = clock
+
+    def wait_until_idle(self, timeout: float = 10.0) -> bool:
+        self._clock.advance(timeout)
+        return True
+
+
+def fleet_idle_deadline_scenario(
+    pools: int = 4, timeout: float = 30.0, settle_rounds: int = 3
+) -> List[Violation]:
+    """``wait_until_idle(timeout=T)`` against greedy pools on a fake
+    clock: total elapsed time must stay at ``T``, not inflate to
+    ``settle_rounds × pools × T`` (24x at the defaults)."""
+    from repro.runtime import workers as workers_mod
+
+    clock = _FakeClock()
+    fleet = workers_mod.WorkerFleet.__new__(workers_mod.WorkerFleet)
+    fleet.pools = [_GreedyPool(clock) for _ in range(pools)]
+    real_time = workers_mod.time
+    workers_mod.time = clock  # type: ignore[assignment]
+    try:
+        fleet.wait_until_idle(timeout=timeout, settle_rounds=settle_rounds)
+    finally:
+        workers_mod.time = real_time
+    violations: List[Violation] = []
+    # One shared deadline: the greedy first pool may eat the whole
+    # budget, but the call as a whole must not exceed it (small slack
+    # for the zero-remaining waits granted to the later pools).
+    if clock.now > timeout * 1.5:
+        violations.append(
+            Violation(
+                INV_IDLE,
+                f"wait_until_idle(timeout={timeout}) consumed {clock.now:.1f}s "
+                f"across {pools} pools x {settle_rounds} rounds — the timeout "
+                "was granted per pool instead of shared",
+            )
+        )
+    return violations
+
+
+# -- drain.no-leaked-deliveries ----------------------------------------------
+
+class _DecommissionOnPop:
+    """Interleave hook that overflows the queue at the Nth ``queue.pop``,
+    decommissioning it while ``drain`` holds popped-but-pending
+    messages."""
+
+    def __init__(self, overflow: Callable[[], None], at_pop: int) -> None:
+        self.overflow = overflow
+        self.at_pop = at_pop
+        self.pops = 0
+        self.events: List[Tuple[str, Dict[str, Any]]] = []
+        self._injecting = False
+
+    def __call__(self, label: str, info: Dict[str, Any], pause: bool) -> None:
+        self.events.append((label, info))
+        if label == "queue.pop" and not self._injecting:
+            self.pops += 1
+            if self.pops == self.at_pop:
+                self._injecting = True
+                self.overflow()
+
+
+def drain_leak_scenario(queue_limit: int = 4) -> List[Violation]:
+    """Decommission the queue in the middle of ``drain``'s pop loop and
+    account for every message drain had already popped: each must come
+    back via a nack (tolerated on the dead queue) instead of leaking as
+    a phantom in-flight delivery."""
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+
+    eco = Ecosystem(queue_limit=queue_limit)
+    pub = eco.service("pub", database=MongoLike("pub-db"))
+
+    @pub.model(publish=["name"], name="Doc")
+    class PubDoc(Model):
+        name = Field(str)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="Doc")
+    class SubDoc(Model):
+        name = Field(str)
+
+    # Two deliveries drain will pop and hold: unsatisfiable causal
+    # updates (their create message is dropped, so their dependency
+    # counters can never catch up during the scenario).
+    eco.broker.drop_next(1)
+    with pub.controller():
+        doc = PubDoc.create(name="seed")
+    with pub.controller():
+        doc.name = "first-orphan-update"
+        doc.save()
+    with pub.controller():
+        doc.name = "second-orphan-update"
+        doc.save()
+
+    def overflow() -> None:
+        with pub.controller():
+            for i in range(queue_limit + 2):
+                PubDoc.create(name=f"flood-{i}")
+
+    hook = _DecommissionOnPop(overflow, at_pop=3)
+    install_hook(hook)
+    decommission_raised = False
+    try:
+        sub.subscriber.drain()
+    except QueueDecommissioned:
+        decommission_raised = True
+    finally:
+        uninstall_hook(hook)
+
+    violations: List[Violation] = []
+    if not decommission_raised:
+        violations.append(
+            Violation(
+                INV_LEAK,
+                "queue decommissioned mid-drain but drain did not surface "
+                "QueueDecommissioned",
+            )
+        )
+    popped = set()
+    returned = set()
+    for label, info in hook.events:
+        uid = info["message"].uid if "message" in info else None
+        if label == "queue.popped":
+            popped.add(uid)
+        elif label in (
+            "queue.acked",
+            "queue.ack.tolerated",
+            "queue.nacked",
+            "queue.nack.tolerated",
+        ):
+            returned.add(uid)
+    leaked = sorted(popped - returned)
+    if leaked:
+        violations.append(
+            Violation(
+                INV_LEAK,
+                f"drain leaked popped deliveries {leaked}: neither acked nor "
+                "returned via nack when the queue was decommissioned",
+            )
+        )
+    return violations
+
+
+def run_directed_scenarios() -> Dict[str, List[Violation]]:
+    """All three directed scenarios; the CLI runs these before sweeping."""
+    return {
+        "queue.pop-deadline": pop_deadline_scenario(),
+        "fleet.idle-deadline": fleet_idle_deadline_scenario(),
+        "drain.no-leaked-deliveries": drain_leak_scenario(),
+    }

@@ -1,0 +1,76 @@
+"""Interleaving yield points for the deterministic conformance harness.
+
+The delivery hot path (queue pop/ack/nack, dependency checks, applies,
+counter bumps, generation flushes) calls :func:`yield_point` at every
+boundary where a thread switch changes observable semantics. By default
+the hook is ``None`` and the call is one module-global load plus an
+``is None`` check — nothing else, no locks, no allocation — so
+production code pays effectively zero cost.
+
+``repro.runtime.conformance`` installs a scheduler hook that (a) records
+the event for the delivery-semantics checker and (b) suspends the
+calling worker until the seeded scheduler picks it again, turning real
+threaded code into a deterministic, replayable interleaving.
+
+Yield points MUST sit outside any lock: the scheduler runs exactly one
+worker at a time, so a worker suspended while holding a lock would
+deadlock the next worker that touches the same structure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+#: Installed hook, or None (the production default). The hook receives
+#: ``(label, info_dict, pause)`` and is called synchronously on the
+#: yielding thread; it decides itself whether the thread is one it
+#: schedules. ``pause=False`` events are record-only: they may be
+#: emitted while the caller holds a lock, so the hook must not suspend
+#: the thread (a suspended lock holder would deadlock the scheduler).
+_hook: Optional[Callable[[str, dict, bool], None]] = None
+_install_lock = threading.Lock()
+
+
+def yield_point(label: str, **info: Any) -> None:
+    """Mark an interleaving boundary on the delivery hot path.
+
+    No-op unless a conformance scheduler is installed. Must only be
+    called with no locks held.
+    """
+    hook = _hook
+    if hook is not None:
+        hook(label, info, True)
+
+
+def observe_point(label: str, **info: Any) -> None:
+    """Record a semantic event without offering a thread switch.
+
+    Safe to call while holding locks — the installed hook records the
+    event for the delivery-semantics checker but never suspends the
+    calling thread here.
+    """
+    hook = _hook
+    if hook is not None:
+        hook(label, info, False)
+
+
+def install_hook(hook: Callable[[str, dict, bool], None]) -> None:
+    """Install ``hook`` as the process-wide yield-point listener."""
+    global _hook
+    with _install_lock:
+        if _hook is not None:
+            raise RuntimeError("an interleaving hook is already installed")
+        _hook = hook
+
+
+def uninstall_hook(hook: Callable[[str, dict, bool], None]) -> None:
+    """Remove ``hook``; tolerates an already-uninstalled hook."""
+    global _hook
+    with _install_lock:
+        if _hook is hook:
+            _hook = None
+
+
+def hook_installed() -> bool:
+    return _hook is not None

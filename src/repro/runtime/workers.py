@@ -46,10 +46,18 @@ class WorkerFleet:
     def wait_until_idle(self, timeout: float = 30.0, settle_rounds: int = 3) -> bool:
         """Idle only counts when every pool is simultaneously drained for
         ``settle_rounds`` consecutive checks (decorator cascades bounce
-        messages between services)."""
+        messages between services).
+
+        ``timeout`` bounds the *whole* call: one deadline is shared
+        across every round and pool. Granting each pool the full budget
+        would let a busy fleet block for ``settle_rounds × pools ×
+        timeout`` — 24x the caller's stated patience at the defaults.
+        """
+        deadline = time.monotonic() + timeout
         for _ in range(settle_rounds):
             for pool in self.pools:
-                if not pool.wait_until_idle(timeout=timeout):
+                remaining = deadline - time.monotonic()
+                if not pool.wait_until_idle(timeout=max(0.0, remaining)):
                     return False
         return True
 
@@ -162,19 +170,28 @@ class SubscriberWorkerPool:
                     self._apply_errors.increment()
                     self._reg_apply_errors.increment()
                     done = False
-                if done:
-                    queue.ack(message)
-                elif message.delivery_count >= self.max_deliveries:
-                    # Give-up timeout reached (§6.5).
-                    if self.give_up_action == "apply":
-                        subscriber.force_apply(message)
-                    queue.ack(message)
-                    self._deadlocked.increment()
-                    self._reg_deadlocked.increment()
+                try:
+                    if done:
+                        queue.ack(message)
+                    elif message.delivery_count >= self.max_deliveries:
+                        # Give-up timeout reached (§6.5).
+                        if self.give_up_action == "apply":
+                            subscriber.force_apply(message)
+                        queue.ack(message)
+                        self._deadlocked.increment()
+                        self._reg_deadlocked.increment()
+                        if self.on_deadlock is not None:
+                            self.on_deadlock(self.service)
+                    else:
+                        queue.nack(message)
+                except QueueDecommissioned:
+                    # The queue died while this delivery was in flight
+                    # (its ack/nack is a tolerated no-op). Route the
+                    # decommission like the pop path does instead of
+                    # letting the exception kill the worker silently.
                     if self.on_deadlock is not None:
                         self.on_deadlock(self.service)
-                else:
-                    queue.nack(message)
+                    return
             finally:
                 with self._idle:
                     self._active -= 1

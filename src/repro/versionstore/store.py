@@ -24,6 +24,7 @@ import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.databases.kv import RedisLike
+from repro.runtime.interleave import observe_point, yield_point
 from repro.versionstore.hashring import HashRing, stable_hash
 
 
@@ -265,14 +266,18 @@ class SubscriberVersionStore:
     def apply(self, dependencies: Iterable[str]) -> None:
         """Post-processing increment of every (non-external) dependency."""
         for dep in dependencies:
+            yield_point("counter.bump", dep=dep)
             if self._applied is not None:
                 self._applied.increment()
             key = self._key(dep)
 
-            def script(store: RedisLike, key: str = key) -> None:
-                store.hset(key, "ops", (store.hget(key, "ops") or 0) + 1)
+            def script(store: RedisLike, key: str = key) -> int:
+                ops = (store.hget(key, "ops") or 0) + 1
+                store.hset(key, "ops", ops)
+                return ops
 
-            self.kv.eval_on(key, script)
+            value = self.kv.eval_on(key, script)
+            yield_point("counter.bumped", dep=dep, value=value)
         with self._waiters:
             self._waiters.notify_all()
 
@@ -288,11 +293,14 @@ class SubscriberVersionStore:
         message that was just applied."""
         key = self._key(hashed_dep)
 
-        def script(store: RedisLike) -> None:
-            current = store.hget(key, "ops") or 0
-            store.hset(key, "ops", max(current, message_version + 1))
+        def script(store: RedisLike) -> int:
+            ops = max(store.hget(key, "ops") or 0, message_version + 1)
+            store.hset(key, "ops", ops)
+            return ops
 
-        self.kv.eval_on(key, script)
+        # Record-only: callers may hold the subscriber's per-object lock.
+        value = self.kv.eval_on(key, script)
+        observe_point("counter.fast_forward", dep=hashed_dep, value=value)
         with self._waiters:
             self._waiters.notify_all()
 
@@ -324,6 +332,7 @@ class SubscriberVersionStore:
             self._waiters.notify_all()
 
     def flush(self) -> None:
+        yield_point("store.flush")
         self.kv.flushall()
         with self._waiters:
             self._waiters.notify_all()
