@@ -15,6 +15,12 @@ Commands:
         scenarios plus a seeded-schedule sweep over the real
         queue/subscriber/version-store code; with --seed K, replay one
         schedule and dump its violations and trace tail
+    watch [--once] [--rounds N] [--interval S] [--writes N]
+          [--prometheus] [--json]
+        live replication-health console over a demo two-service
+        workload: per-link p50/p99 lag, SLO status, throughput and
+        flight-recorder counts each round; --once runs a single round
+        (the CI smoke mode), --prometheus/--json switch the exposition
     repair --demo [--objects N] [--lose K]
         reproduce the §6.5 message-loss incident (lost write-messages
         wedging a causal subscriber), audit replica divergence with
@@ -201,6 +207,10 @@ def main(argv: list) -> int:
         return 0
     if command == "metrics":
         return _metrics_command("--trace" in args)
+    if command == "watch":
+        from repro.runtime.monitor.watch import watch_command
+
+        return watch_command(args)
     if command == "conformance":
         from repro.runtime.conformance.cli import conformance_command
 

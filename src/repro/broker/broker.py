@@ -47,6 +47,10 @@ class Broker:
         #: Shared with the owning ecosystem (an ecosystem adopting a
         #: pre-built broker adopts this registry).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Flight recorder (bound by the owning ecosystem): every dropped
+        #: routing gets a structured event so a postmortem dump names the
+        #: exact lost message (§6.5).
+        self.recorder = None
         # Registry-backed atomic counters: concurrent publishers used to
         # bump plain ints outside self._lock and lose increments.
         self._dropped = self.metrics.counter("broker.dropped")
@@ -130,6 +134,13 @@ class Broker:
         for queue in targets:
             if self._should_drop():
                 self._dropped.increment()
+                if self.recorder is not None:
+                    self.recorder.record_event(
+                        "broker.drop",
+                        queue=queue.name,
+                        uid=message.uid,
+                        app=message.app,
+                    )
                 continue
             if message.trace is None:
                 queue.publish(message.copy())

@@ -60,6 +60,10 @@ class Message:
         #: round trip of :meth:`copy`.
         self.trace = trace
         self.delivery_count = 0
+        #: Queue-local dwell bookkeeping (set by ``SubscriberQueue``):
+        #: runtime state of one queue's copy, never serialised.
+        self.enqueued_at: Optional[float] = None
+        self.dwell: Optional[float] = None
 
     def to_json(self) -> str:
         payload = {

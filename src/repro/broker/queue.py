@@ -45,6 +45,9 @@ class SubscriberQueue:
             if self.decommissioned:
                 dropped, killed = True, False
             else:
+                # Dwell is measured for every message (the lag monitor
+                # needs it), not just traced ones.
+                message.enqueued_at = trace_now()
                 if message.trace is not None:
                     message.trace.mark(MARK_ENQUEUED)
                 self._items.append(message)
@@ -106,6 +109,8 @@ class SubscriberQueue:
             message = self._items.popleft()
             message.delivery_count += 1
             self._unacked[message.seq] = message
+            if message.enqueued_at is not None:
+                message.dwell = trace_now() - message.enqueued_at
             if message.trace is not None:
                 # Queue dwell: enqueue (or last redelivery) to this pop.
                 enqueued = message.trace.marks.get(MARK_ENQUEUED)
@@ -130,6 +135,11 @@ class SubscriberQueue:
                 self.total_acked += 1
                 if message.trace is not None:
                     message.trace.mark(MARK_ACKED)
+                    # The subscriber already handed the finished trace to
+                    # the tracer/flight recorder (same object, so the ack
+                    # mark above is visible there); releasing it here
+                    # stops per-message growth once delivery completes.
+                    message.trace = None
         if tolerated:
             yield_point("queue.ack.tolerated", queue=self.name, message=message)
         else:
@@ -142,8 +152,9 @@ class SubscriberQueue:
             tolerated = self.decommissioned or message.seq not in self._unacked
             if not tolerated:
                 del self._unacked[message.seq]
+                message.enqueued_at = trace_now()  # dwell restarts
                 if message.trace is not None:
-                    message.trace.mark(MARK_ENQUEUED)  # dwell restarts
+                    message.trace.mark(MARK_ENQUEUED)
                 self._items.appendleft(message)
                 self._available.notify_all()
         if tolerated:

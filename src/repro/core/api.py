@@ -44,6 +44,7 @@ from repro.errors import DecoratorViolation, PublicationError, SynapseError
 from repro.orm.mapper import mapper_for
 from repro.orm.model import Model, bind_model
 from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.monitor import FlightRecorder, LagMonitor
 from repro.runtime.tracing import Tracer
 from repro.versionstore import (
     DependencyHasher,
@@ -65,6 +66,7 @@ class Ecosystem:
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         # One metrics registry per ecosystem; a pre-built broker brings
         # its own registry and the ecosystem adopts it so ``broker.*``
@@ -84,11 +86,26 @@ class Ecosystem:
         #: End-to-end pipeline tracing; off by default (zero hot-path cost
         #: beyond one ``enabled`` check per publish).
         self.tracer = tracer or Tracer()
+        #: Anomaly flight recorder: bounded rings of completed traces and
+        #: structured events; the tracer's sink and the broker's drop
+        #: events feed it (docs/observability.md).
+        self.recorder = recorder or FlightRecorder(clock=self.clock)
+        self.recorder.registry = self.metrics
+        self.tracer.sink = self.recorder.record_trace
+        self.broker.recorder = self.recorder
+        #: Per-link lag SLOs and the ``eco.monitor.health()`` report.
+        self.monitor = LagMonitor(self)
         self.services: Dict[str, Service] = {}
 
-    def enable_tracing(self) -> Tracer:
-        """Switch on per-message span tracing and return the tracer."""
-        return self.tracer.enable()
+    def enable_tracing(
+        self, sample_rate: Optional[float] = None, seed: Optional[int] = None
+    ) -> Tracer:
+        """Switch on per-message span tracing and return the tracer.
+
+        ``sample_rate`` below 1.0 turns this into production-mode
+        *sampled always-on* tracing: a deterministic per-uid decision
+        picks which messages carry their trace across the wire."""
+        return self.tracer.enable(sample_rate=sample_rate, seed=seed)
 
     def service(self, name: str, **kwargs: Any) -> "Service":
         if name in self.services:

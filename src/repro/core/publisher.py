@@ -28,7 +28,7 @@ always (``publisher.<app>.overhead``, ``publisher.<app>.published``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.delivery import GLOBAL, GLOBAL_OBJECT, WEAK
 from repro.core.dependencies import dep_name
@@ -40,7 +40,9 @@ from repro.runtime.tracing import (
     STAGE_ENGINE_WRITE,
     STAGE_INTERCEPT,
     STAGE_REGISTER,
+    SpanLog,
     Trace,
+    activate_trace,
     trace_now,
 )
 
@@ -143,7 +145,7 @@ class SynapsePublisher:
         ctx: Any,
         mode: str,
         write_deps: List[str],
-        trace: Optional[Trace] = None,
+        trace: Optional[Union[SpanLog, Trace]] = None,
     ) -> Tuple[List[str], Dict[str, int]]:
         """Fold the controller context into ``write_deps`` (in place) and
         return ``(read_deps, external_deps)``.
@@ -191,7 +193,7 @@ class SynapsePublisher:
     ) -> Row:
         service = self.service
         clock = service.ecosystem.clock
-        trace = service.ecosystem.tracer.begin(service.name)
+        trace = service.ecosystem.tracer.begin_log()
         intercept_start = trace_now() if trace is not None else 0.0
         start = clock.monotonic()
         mode = service.delivery_mode
@@ -238,10 +240,18 @@ class SynapsePublisher:
         )
         # Publish-time work done; stop the overhead clock before the
         # (broker-side) fan-out which the paper attributes to the fabric.
-        self.overhead.record(clock.monotonic() - start)
+        elapsed = clock.monotonic() - start
         if trace is not None:
             trace.add(STAGE_INTERCEPT, intercept_start, trace_now() - intercept_start)
-            message.trace = trace
+            # Head-based sampling decides here (the uid now exists):
+            # unsampled messages ship with no trace at all, and only a
+            # sampled one pays for real Trace/Span objects.
+            service.ecosystem.tracer.attach_log(service.name, trace, message)
+        if message.trace is not None:
+            with activate_trace(message.trace):
+                self.overhead.record(elapsed)
+        else:
+            self.overhead.record(elapsed)
         service.broker.publish(message)
         self._published.increment()
         if ctx is not None:
@@ -277,7 +287,7 @@ class SynapsePublisher:
         """2PC phase one: bump versions and build the combined message."""
         service = self.service
         clock = service.ecosystem.clock
-        trace = service.ecosystem.tracer.begin(service.name)
+        trace = service.ecosystem.tracer.begin_log()
         intercept_start = trace_now() if trace is not None else 0.0
         start = clock.monotonic()
         batch: _TxnBatch = txn._synapse_batch
@@ -307,10 +317,15 @@ class SynapsePublisher:
             generation=service.current_generation(),
             external_dependencies=external,
         )
-        self.overhead.record(clock.monotonic() - start)
+        elapsed = clock.monotonic() - start
         if trace is not None:
             trace.add(STAGE_INTERCEPT, intercept_start, trace_now() - intercept_start)
-            batch.message.trace = trace
+            service.ecosystem.tracer.attach_log(service.name, trace, batch.message)
+        if batch.message.trace is not None:
+            with activate_trace(batch.message.trace):
+                self.overhead.record(elapsed)
+        else:
+            self.overhead.record(elapsed)
 
     def _commit_transaction(self, txn: Any) -> None:
         """2PC phase two: the local commit succeeded — publish."""
@@ -330,7 +345,7 @@ class SynapsePublisher:
         self,
         read_deps: List[str],
         write_deps: List[str],
-        trace: Optional[Trace] = None,
+        trace: Optional[Union[SpanLog, Trace]] = None,
     ) -> Dict[str, int]:
         store = self.service.publisher_version_store
         start = trace_now() if trace is not None else 0.0

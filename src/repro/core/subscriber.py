@@ -32,7 +32,12 @@ from repro.orm.associations import snake_case
 from repro.orm.callbacks import run_callbacks
 from repro.orm.model import pluralize
 from repro.runtime.interleave import observe_point, yield_point
-from repro.runtime.tracing import STAGE_APPLY, STAGE_DEP_WAIT, trace_now
+from repro.runtime.tracing import (
+    STAGE_APPLY,
+    STAGE_DEP_WAIT,
+    activate_trace,
+    trace_now,
+)
 
 
 @dataclass
@@ -215,6 +220,15 @@ class SynapseSubscriber:
             self._duplicates.increment()
             yield_point("dedup.duplicate", message=message)
             return True  # redelivered duplicate: safe to ack again
+        if message.trace is None:
+            return self._process(message, wait_timeout)
+        # Traced message: make the trace the thread's current trace so an
+        # over-threshold histogram observation anywhere in the apply path
+        # captures this message's uid as its exemplar.
+        with activate_trace(message.trace):
+            return self._process(message, wait_timeout)
+
+    def _process(self, message: Message, wait_timeout: float) -> bool:
         if message.repair:
             # Anti-entropy repair: never waits (the whole point is to
             # heal counter deficits that would make waiting eternal) and
@@ -278,6 +292,9 @@ class SynapseSubscriber:
         self._mark_applied(message.uid)
         self._processed.increment()
         yield_point("msg.finished", message=message)
+        monitor = getattr(self.service.ecosystem, "monitor", None)
+        if monitor is not None:
+            monitor.observe_applied(self.service.name, message)
         if message.trace is not None:
             self.service.ecosystem.tracer.record(message.trace)
 
@@ -305,9 +322,10 @@ class SynapseSubscriber:
         is timeout=∞, weak is timeout=0, this is anything in between)."""
         if self._already_applied(message.uid):
             return
-        self._apply_timed(message)
-        self.service.subscriber_version_store.apply(message.dependencies.keys())
-        self._finish(message)
+        with activate_trace(message.trace):
+            self._apply_timed(message)
+            self.service.subscriber_version_store.apply(message.dependencies.keys())
+            self._finish(message)
 
     def _already_applied(self, uid: str) -> bool:
         with self._applied_lock:

@@ -194,6 +194,20 @@ class ReplicationAuditor:
         self._audit_time.record(report.elapsed)
         if trace is not None:
             tracer.record(trace)
+        recorder = getattr(service.ecosystem, "recorder", None)
+        if recorder is not None and report.divergent_total:
+            # Suspected loss (idle queues + persistent divergence) is the
+            # §6.5 signature: an anomaly, so the evidence gets dumped.
+            # Divergence with traffic still in transit is ordinary lag.
+            kind = "audit.suspected_loss" if report.suspected_loss \
+                else "audit.divergence"
+            recorder.record_event(
+                kind,
+                severity="anomaly" if report.suspected_loss else "info",
+                subscriber=service.name,
+                divergent_objects=report.divergent_total,
+                version_lag=sum(r.version_lag for r in report.lag.values()),
+            )
         return report
 
     # ------------------------------------------------------------------

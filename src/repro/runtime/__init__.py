@@ -1,6 +1,7 @@
 """Execution/measurement runtime: the central metrics registry, per-message
-tracing, threaded worker pools and the discrete-event simulator used for
-the scaling experiments."""
+tracing, the replication-health monitor (lag SLOs, flight recorder,
+exposition), threaded worker pools and the discrete-event simulator used
+for the scaling experiments."""
 
 from repro.runtime.metrics import (
     Counter,
@@ -9,16 +10,47 @@ from repro.runtime.metrics import (
     ThroughputMeter,
     Timer,
 )
-from repro.runtime.tracing import Span, Trace, Tracer, format_trace
+from repro.runtime.monitor import (
+    FlightRecorder,
+    HealthReport,
+    LagMonitor,
+    LinkHealth,
+    LinkSLO,
+    RecorderEvent,
+    load_dump,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.runtime.tracing import (
+    Span,
+    Trace,
+    Tracer,
+    activate_trace,
+    current_trace,
+    format_trace,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
+    "HealthReport",
     "Histogram",
+    "LagMonitor",
+    "LinkHealth",
+    "LinkSLO",
     "MetricsRegistry",
+    "RecorderEvent",
+    "Span",
     "Timer",
     "ThroughputMeter",
-    "Span",
     "Trace",
     "Tracer",
+    "activate_trace",
+    "current_trace",
     "format_trace",
+    "load_dump",
+    "parse_prometheus",
+    "to_json",
+    "to_prometheus",
 ]

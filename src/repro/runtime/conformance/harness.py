@@ -361,6 +361,19 @@ class ConformanceHarness:
                 f"{type(error).__name__}: {error}",
             )
         violations = self.checker.finalize()
+        # A broken delivery invariant is an anomaly by definition: feed
+        # the ecosystem's flight recorder so a failing seed leaves the
+        # same JSONL evidence as a production incident.
+        recorder = getattr(self.eco, "recorder", None)
+        if recorder is not None:
+            for violation in violations:
+                recorder.anomaly(
+                    "conformance.violation",
+                    invariant=violation.invariant,
+                    detail=violation.detail,
+                    step=violation.step,
+                    schedule=config.describe(),
+                )
         queue = self.sub.subscriber.queue
         stats = {
             "script_ops": len(self.script),

@@ -7,15 +7,41 @@ hierarchically named (``publisher.<app>.published``, ``broker.routed``,
 :meth:`MetricsRegistry.snapshot` for benchmarks, dashboards and the
 ``python -m repro metrics`` CLI. See docs/observability.md for the
 naming scheme.
+
+Histograms are bounded: exact ``count``/``sum`` plus a fixed-size,
+deterministically seeded reservoir (Vitter's Algorithm R) for the
+percentile view, so an always-on production histogram never grows
+without limit. Slow observations above a configurable threshold attach
+an *exemplar* — the id of the trace active on the recording thread — so
+a bad percentile links directly to one replayable trace
+(docs/observability.md, "Replication-health monitoring").
 """
 
 from __future__ import annotations
 
 import math
+import random
 import threading
-from typing import Dict, List, Optional, Union
+import zlib
+from collections import deque
+from typing import Any, Dict, List, Optional, Union
 
 from repro.clock import Clock, DEFAULT_CLOCK
+from repro.runtime.tracing import current_trace, trace_now
+
+#: Reservoir capacity: percentiles stay exact below this many samples
+#: and carry only reservoir error above it.
+DEFAULT_RESERVOIR = 4096
+
+#: Exemplars kept per histogram (newest win; one per bad percentile is
+#: plenty for a postmortem link).
+EXEMPLAR_CAPACITY = 8
+
+
+def _seed_for(name: str) -> int:
+    """Deterministic per-name reservoir seed (stable across processes,
+    unlike builtin ``hash``)."""
+    return zlib.crc32(name.encode("utf-8"))
 
 
 class Counter:
@@ -51,39 +77,90 @@ class Counter:
 
 
 class Histogram:
-    """Collects samples; reports mean/percentiles.
+    """Collects samples; reports exact mean/total and reservoir percentiles.
 
-    Percentiles use the nearest-rank method, adequate for the
-    mean/99th-percentile tables of Fig 12(a). The sorted view is cached
-    and invalidated on mutation, so a benchmark summary pass sorts once
-    (O(n log n)) instead of once per percentile.
+    ``count`` and ``total()`` are exact however many samples arrive; the
+    per-value store is a fixed-size reservoir (Algorithm R, seeded per
+    instrument, so two runs of the same workload keep the same sample
+    set). Percentiles use the nearest-rank method over the reservoir —
+    exact until the reservoir fills, within reservoir error after. The
+    sorted view is cached and invalidated on mutation, so a benchmark
+    summary pass sorts once (O(n log n)) instead of once per percentile.
+
+    Setting :attr:`exemplar_threshold` arms exemplar capture: a recorded
+    value strictly above the threshold, observed while a trace is active
+    on the thread (:func:`repro.runtime.tracing.activate_trace`), stores
+    ``(value, trace_id, at)`` in a small ring.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        reservoir_size: int = DEFAULT_RESERVOIR,
+        seed: int = 0,
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self._reservoir_size = reservoir_size
+        self._seed = seed
+        self._rng = random.Random(seed)
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._sum = 0.0
         self._lock = threading.Lock()
+        #: Values strictly above this capture an exemplar (None = off).
+        self.exemplar_threshold: Optional[float] = None
+        self._exemplars: "deque[Dict[str, Any]]" = deque(maxlen=EXEMPLAR_CAPACITY)
 
-    def record(self, value: float) -> None:
-        with self._lock:
+    # -- recording ----------------------------------------------------------
+
+    def _record_locked(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if len(self._samples) < self._reservoir_size:
             self._samples.append(value)
             self._sorted = None
+        else:
+            # Algorithm R: the i-th sample replaces a reservoir slot with
+            # probability reservoir_size / i.
+            slot = self._rng.randrange(self._count)
+            if slot < self._reservoir_size:
+                self._samples[slot] = value
+                self._sorted = None
+
+    def record(self, value: float) -> None:
+        threshold = self.exemplar_threshold
+        exemplar: Optional[Dict[str, Any]] = None
+        if threshold is not None and value > threshold:
+            trace = current_trace()
+            if trace is not None:
+                exemplar = {
+                    "value": value,
+                    "trace_id": trace.trace_id,
+                    "at": trace_now(),
+                }
+        with self._lock:
+            self._record_locked(value)
+            if exemplar is not None:
+                self._exemplars.append(exemplar)
 
     def extend(self, values: List[float]) -> None:
         with self._lock:
-            self._samples.extend(values)
-            self._sorted = None
+            for value in values:
+                self._record_locked(value)
+
+    # -- reading ------------------------------------------------------------
 
     @property
     def count(self) -> int:
         with self._lock:
-            return len(self._samples)
+            return self._count
 
     def mean(self) -> float:
         with self._lock:
-            if not self._samples:
+            if not self._count:
                 return 0.0
-            return sum(self._samples) / len(self._samples)
+            return self._sum / self._count
 
     def percentile(self, p: float) -> float:
         with self._lock:
@@ -96,7 +173,7 @@ class Histogram:
 
     def total(self) -> float:
         with self._lock:
-            return sum(self._samples)
+            return self._sum
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -106,10 +183,19 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def exemplars(self) -> List[Dict[str, Any]]:
+        """Captured exemplars, oldest first."""
+        with self._lock:
+            return [dict(e) for e in self._exemplars]
+
     def reset(self) -> None:
         with self._lock:
             self._samples.clear()
             self._sorted = None
+            self._count = 0
+            self._sum = 0.0
+            self._rng = random.Random(self._seed)
+            self._exemplars.clear()
 
 
 class MetricsRegistry:
@@ -140,7 +226,9 @@ class MetricsRegistry:
                 raise ValueError(f"{name!r} is already a counter")
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram()
+                # Per-name seed: reservoir downsampling is deterministic
+                # run-to-run without correlating across instruments.
+                histogram = self._histograms[name] = Histogram(seed=_seed_for(name))
             return histogram
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -151,6 +239,13 @@ class MetricsRegistry:
         with self._lock:
             counter = self._counters.get(name)
         return counter.value if counter is not None else 0
+
+    def instruments(self) -> "tuple[Dict[str, Counter], Dict[str, Histogram]]":
+        """(counters, histograms) shallow copies — the exposition layer
+        (``repro.runtime.monitor.export``) needs the raw instruments, not
+        just the summary snapshot."""
+        with self._lock:
+            return dict(self._counters), dict(self._histograms)
 
     def snapshot(self, prefix: str = "") -> Dict[str, Union[int, Dict[str, float]]]:
         """Every instrument under ``prefix``, sorted by name. Counters
@@ -166,6 +261,19 @@ class MetricsRegistry:
                 out[name] = counters[name].value
             else:
                 out[name] = histograms[name].summary()
+        return out
+
+    def exemplars(self, prefix: str = "") -> Dict[str, List[Dict[str, Any]]]:
+        """Histogram name -> captured exemplars (only non-empty entries)."""
+        with self._lock:
+            histograms = {
+                n: h for n, h in self._histograms.items() if n.startswith(prefix)
+            }
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for name in sorted(histograms):
+            exemplars = histograms[name].exemplars()
+            if exemplars:
+                out[name] = exemplars
         return out
 
     def reset(self) -> None:

@@ -1,0 +1,45 @@
+"""Live replication-health monitoring (docs/observability.md).
+
+Three cooperating pieces, all owned by the :class:`~repro.core.Ecosystem`:
+
+- :class:`LagMonitor` (``eco.monitor``) — per publisher→subscriber link
+  lag/dwell windows, SLO evaluation, ``eco.monitor.health()``;
+- :class:`FlightRecorder` (``eco.recorder``) — bounded rings of
+  completed traces and structured events; anomalies dump JSONL;
+- the exposition layer — :func:`to_prometheus` / :func:`to_json` over
+  the metrics registry, and the ``python -m repro watch`` console.
+"""
+
+from repro.runtime.monitor.export import (
+    mangle,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.runtime.monitor.lag import (
+    HealthReport,
+    LagMonitor,
+    LinkHealth,
+    LinkSLO,
+    SlidingWindow,
+)
+from repro.runtime.monitor.recorder import (
+    FlightRecorder,
+    RecorderEvent,
+    load_dump,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "HealthReport",
+    "LagMonitor",
+    "LinkHealth",
+    "LinkSLO",
+    "RecorderEvent",
+    "SlidingWindow",
+    "load_dump",
+    "mangle",
+    "parse_prometheus",
+    "to_json",
+    "to_prometheus",
+]

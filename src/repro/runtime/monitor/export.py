@@ -1,0 +1,110 @@
+"""Registry exposition: Prometheus text format and JSON.
+
+Counters export as ``counter`` samples, histograms as ``summary``
+families (``{quantile="0.5"|"0.99"}`` + ``_sum`` + ``_count``), all
+under the ``repro_`` prefix with dots mangled to underscores — e.g.
+``subscriber.sub.dep_wait`` becomes ``repro_subscriber_sub_dep_wait``.
+Mangling is a pure function of the registry name, so exposition names
+are stable across snapshots and processes.
+
+:func:`parse_prometheus` is the round-trip half: it parses the text
+format back into ``{name: value | summary-dict}`` so tests (and
+scrape-side tooling) can assert that every registry instrument survives
+exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict
+
+#: Every exported sample name starts with this.
+PREFIX = "repro_"
+
+_QUANTILES = (("0.5", 50), ("0.99", 99))
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+
+
+def mangle(name: str) -> str:
+    """Registry dot-name -> Prometheus sample name."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return PREFIX + safe
+
+
+def to_prometheus(registry: Any) -> str:
+    """Render every instrument of ``registry`` in Prometheus text format."""
+    counters, histograms = registry.instruments()
+    lines = []
+    for name in sorted(counters):
+        sample = mangle(name)
+        lines.append(f"# TYPE {sample} counter")
+        lines.append(f"{sample} {counters[name].value}")
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        sample = mangle(name)
+        lines.append(f"# TYPE {sample} summary")
+        for quantile, p in _QUANTILES:
+            lines.append(
+                f'{sample}{{quantile="{quantile}"}} {histogram.percentile(p):.9g}'
+            )
+        lines.append(f"{sample}_sum {histogram.total():.9g}")
+        lines.append(f"{sample}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Parse :func:`to_prometheus` output back into plain data.
+
+    Counters map to their integer-ish value; summaries map to
+    ``{"quantiles": {"0.5": v, "0.99": v}, "sum": v, "count": n}``.
+    """
+    out: Dict[str, Any] = {}
+    summaries: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        labels = match.group("labels")
+        value = float(match.group("value"))
+        if name.endswith("_sum") and types.get(name[:-4]) == "summary":
+            summaries.setdefault(name[:-4], {})["sum"] = value
+        elif name.endswith("_count") and types.get(name[:-6]) == "summary":
+            summaries.setdefault(name[:-6], {})["count"] = int(value)
+        elif types.get(name) == "summary" and labels:
+            quantile = labels.split("=", 1)[1].strip('"')
+            summaries.setdefault(name, {}).setdefault("quantiles", {})[
+                quantile
+            ] = value
+        else:
+            out[name] = int(value) if value == int(value) else value
+    out.update(summaries)
+    return out
+
+
+def to_json(registry: Any, monitor: Any = None) -> str:
+    """JSON exposition: the full snapshot, exemplars, and (when a
+    :class:`~repro.runtime.monitor.lag.LagMonitor` is given) the health
+    report — one document for dashboards and the ``watch`` CLI."""
+    payload: Dict[str, Any] = {
+        "metrics": registry.snapshot(),
+        "exemplars": registry.exemplars(),
+    }
+    if monitor is not None:
+        payload["health"] = monitor.health().to_dict()
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,212 @@
+"""The anomaly flight recorder: bounded rings of traces and events.
+
+The §6.5 postmortem was reconstructed by humans, late, from whatever
+logs happened to survive. The :class:`FlightRecorder` keeps the recent
+past on hand continuously — the last N completed traces (fed by the
+``Tracer`` sink) and the last M structured events (deadlocks, queue
+decommissions, injected/observed drops, repairs, SLO breaches,
+conformance violations) — and, the moment an *anomaly* event lands,
+dumps everything to a JSONL artifact so the evidence is frozen before
+the rings rotate it away.
+
+Dump format (one JSON object per line)::
+
+    {"type": "meta", "reason": ..., "at": ..., "events": N, "traces": M}
+    {"type": "event", "kind": ..., "severity": ..., "at": ..., ...}
+    {"type": "trace", "trace_id": ..., "app": ..., "spans": [...], ...}
+    {"type": "exemplar", "metric": ..., "value": ..., "trace_id": ...}
+
+Exemplar lines come from the ecosystem metrics registry when one is
+bound, so a dump links bad percentiles to the exact traces it carries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.clock import Clock, DEFAULT_CLOCK
+from repro.runtime.tracing import Trace
+
+SEVERITY_INFO = "info"
+SEVERITY_ANOMALY = "anomaly"
+
+#: Default floor between two automatic dumps: a chaos run dropping
+#: hundreds of messages produces one artifact per window, not per drop.
+DUMP_MIN_INTERVAL = 5.0
+
+
+@dataclass
+class RecorderEvent:
+    """One structured event in the ring."""
+
+    kind: str
+    severity: str
+    at: float
+    seq: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "type": "event",
+            "kind": self.kind,
+            "severity": self.severity,
+            "at": self.at,
+            "seq": self.seq,
+        }
+        out.update(self.data)
+        return out
+
+
+class FlightRecorder:
+    """Bounded rings of completed traces and structured events.
+
+    ``dump_dir=None`` (the default) keeps the recorder purely in-memory:
+    anomalies are still ring-buffered and queryable, nothing touches the
+    filesystem. Point ``dump_dir`` somewhere to arm automatic dumps.
+    """
+
+    def __init__(
+        self,
+        trace_capacity: int = 256,
+        event_capacity: int = 512,
+        dump_dir: Optional[str] = None,
+        clock: Optional[Clock] = None,
+        dump_min_interval: float = DUMP_MIN_INTERVAL,
+    ) -> None:
+        self.clock = clock or DEFAULT_CLOCK
+        self.dump_dir = dump_dir
+        self.dump_min_interval = dump_min_interval
+        #: Bound by the ecosystem so dumps carry exemplars.
+        self.registry: Optional[Any] = None
+        self._traces: "deque[Trace]" = deque(maxlen=trace_capacity)
+        self._events: "deque[RecorderEvent]" = deque(maxlen=event_capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dump_seq = 0
+        self._last_dump: Optional[float] = None
+        #: Paths of every artifact written, oldest first.
+        self.dumps: List[str] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record_trace(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def record_event(
+        self, kind: str, severity: str = SEVERITY_INFO, **data: Any
+    ) -> RecorderEvent:
+        """Ring-buffer one event; an anomaly triggers a dump (when armed)."""
+        with self._lock:
+            self._seq += 1
+            event = RecorderEvent(
+                kind=kind,
+                severity=severity,
+                at=self.clock.now(),
+                seq=self._seq,
+                data=data,
+            )
+            self._events.append(event)
+        if severity == SEVERITY_ANOMALY:
+            self._maybe_auto_dump(reason=kind)
+        return event
+
+    def anomaly(self, kind: str, **data: Any) -> RecorderEvent:
+        return self.record_event(kind, severity=SEVERITY_ANOMALY, **data)
+
+    # -- reading ------------------------------------------------------------
+
+    def traces(self) -> List[Trace]:
+        """Completed traces, oldest first (ring eviction drops oldest)."""
+        with self._lock:
+            return list(self._traces)
+
+    def events(self, kind: Optional[str] = None) -> List[RecorderEvent]:
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        return events
+
+    def anomalies(self) -> List[RecorderEvent]:
+        return [e for e in self.events() if e.severity == SEVERITY_ANOMALY]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._events.clear()
+
+    # -- dumping ------------------------------------------------------------
+
+    def _maybe_auto_dump(self, reason: str) -> Optional[str]:
+        if self.dump_dir is None:
+            return None
+        now = self.clock.monotonic()
+        with self._lock:
+            if (
+                self._last_dump is not None
+                and now - self._last_dump < self.dump_min_interval
+            ):
+                return None
+            self._last_dump = now
+        return self.dump(reason=reason)
+
+    def dump(self, reason: str = "manual") -> Optional[str]:
+        """Freeze the rings (plus registry exemplars) to one JSONL file;
+        returns the path, or None when no ``dump_dir`` is configured."""
+        if self.dump_dir is None:
+            return None
+        with self._lock:
+            traces = list(self._traces)
+            events = list(self._events)
+            self._dump_seq += 1
+            seq = self._dump_seq
+        exemplars = (
+            self.registry.exemplars() if self.registry is not None else {}
+        )
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in reason
+        )
+        os.makedirs(self.dump_dir, exist_ok=True)
+        path = os.path.join(self.dump_dir, f"flight-{seq:04d}-{safe_reason}.jsonl")
+        lines = [
+            json.dumps(
+                {
+                    "type": "meta",
+                    "reason": reason,
+                    "at": self.clock.now(),
+                    "events": len(events),
+                    "traces": len(traces),
+                }
+            )
+        ]
+        lines.extend(json.dumps(event.to_dict()) for event in events)
+        for trace in traces:
+            payload = trace.to_dict()
+            payload["type"] = "trace"
+            lines.append(json.dumps(payload))
+        for metric, metric_exemplars in exemplars.items():
+            for exemplar in metric_exemplars:
+                lines.append(
+                    json.dumps({"type": "exemplar", "metric": metric, **exemplar})
+                )
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        self.dumps.append(path)
+        return path
+
+
+def load_dump(path: str) -> List[Dict[str, Any]]:
+    """Parse one JSONL artifact back into dicts (postmortem tooling)."""
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

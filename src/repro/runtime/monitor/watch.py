@@ -1,0 +1,131 @@
+"""``python -m repro watch`` — live replication-health console.
+
+Drives a small two-service workload (sampled tracing on, a tight demo
+SLO armed) and renders per-link lag, throughput and SLO status once per
+interval. ``--once`` runs a single round and exits — the CI smoke mode.
+
+Flags:
+    --once            one round, then exit
+    --rounds N        stop after N rounds (0 = until interrupted)
+    --interval S      seconds between rounds (default 1.0)
+    --writes N        publisher writes per round (default 20)
+    --prometheus      also print the Prometheus exposition each round
+    --json            print the JSON exposition instead of the console view
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Tuple
+
+from repro.runtime.monitor.export import to_json, to_prometheus
+from repro.runtime.monitor.lag import LinkSLO
+
+
+def _build_demo_ecosystem() -> Tuple[Any, Any, type]:
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+
+    eco = Ecosystem()
+    # Production posture: always-on tracing, every message sampled (the
+    # demo workload is tiny), exemplars armed by the SLO below.
+    eco.enable_tracing(sample_rate=1.0)
+    eco.monitor.set_slo("pub", "sub", LinkSLO(p99_lag=0.5, stall_after=5.0))
+    pub = eco.service("pub", database=MongoLike("pub-db"))
+
+    @pub.model(publish=["name", "score"], name="Item")
+    class Item(Model):
+        name = Field(str)
+        score = Field(int, default=0)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(subscribe={"from": "pub", "fields": ["name", "score"]}, name="Item")
+    class SubItem(Model):
+        name = Field(str)
+        score = Field(int, default=0)
+
+    return eco, pub, Item
+
+
+def _flag_value(args: List[str], name: str, default: float) -> float:
+    if name in args:
+        return float(args[args.index(name) + 1])
+    return default
+
+
+def _render_round(eco: Any, round_no: int) -> List[str]:
+    report = eco.monitor.health()
+    snapshot = eco.metrics.snapshot()
+    lines = [f"== replication health · round {round_no} =="]
+    for link in report.links:
+        lines.append("  " + link.summary_line())
+    applied = sum(
+        value
+        for name, value in snapshot.items()
+        if name.startswith("subscriber.") and name.endswith(".processed")
+        and isinstance(value, int)
+    )
+    lines.append(
+        "  throughput: "
+        f"routed={eco.metrics.value('broker.routed')} "
+        f"dropped={eco.metrics.value('broker.dropped')} "
+        f"applied={applied}"
+    )
+    anomalies = eco.recorder.anomalies()
+    lines.append(
+        f"  flight recorder: {len(eco.recorder.traces())} traces, "
+        f"{len(eco.recorder.events())} events, {len(anomalies)} anomalies"
+    )
+    return lines
+
+
+def watch_command(args: List[str]) -> int:
+    once = "--once" in args
+    rounds = int(_flag_value(args, "--rounds", 1 if once else 0))
+    interval = _flag_value(args, "--interval", 1.0)
+    writes = int(_flag_value(args, "--writes", 20))
+    as_json = "--json" in args
+    with_prometheus = "--prometheus" in args
+
+    eco, pub, item_cls = _build_demo_ecosystem()
+    items: List[Any] = []
+    round_no = 0
+    try:
+        while True:
+            round_no += 1
+            with pub.controller():
+                for i in range(writes):
+                    if items and i % 2:
+                        target = items[i % len(items)]
+                        target.score += 1
+                        target.save()
+                    else:
+                        items.append(
+                            item_cls.create(name=f"item-{round_no}-{i}", score=0)
+                        )
+            eco.services["sub"].subscriber.drain()
+
+            if as_json:
+                print(to_json(eco.metrics, monitor=eco.monitor))
+            else:
+                for line in _render_round(eco, round_no):
+                    print(line)
+            if with_prometheus:
+                print(to_prometheus(eco.metrics), end="")
+
+            if rounds and round_no >= rounds:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    except BrokenPipeError:  # pragma: no cover - `watch ... | head` exit
+        return 0
+
+    report = eco.monitor.health()
+    if not report.links:
+        print("watch: no replication links discovered")
+        return 1
+    return 0

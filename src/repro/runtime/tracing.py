@@ -17,13 +17,29 @@ plus point-in-time marks (``queue.enqueued``, ``subscriber.ack``). The
 per-ecosystem :class:`Tracer` is the on/off switch and the sink finished
 traces land in; tracing is off by default and a disabled tracer adds a
 single ``None`` check to the hot path.
+
+Two production-mode facilities on top (docs/observability.md,
+"Replication-health monitoring"):
+
+- **sampled always-on tracing** — ``eco.enable_tracing(sample_rate=0.01)``
+  keeps the tracer on permanently at bounded cost: a deterministic
+  head-based decision (seeded hash of the message uid) picks which
+  messages carry their trace across the wire. Same seed + rate → the
+  same sampled uid set, so a trace seen on one link is seen on all.
+- **trace ids + the active-trace context** — every trace has a
+  ``trace_id`` (adopted from the message uid when one attaches), and the
+  thread applying a traced message runs under :func:`activate_trace`, so
+  a slow ``Histogram.record`` can capture the current id as an exemplar.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+import zlib
 from collections import deque
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.clock import DEFAULT_CLOCK
 
@@ -70,6 +86,35 @@ def trace_now() -> float:
     return DEFAULT_CLOCK.monotonic()
 
 
+# -- the active-trace context (exemplar support) ---------------------------
+
+_active = threading.local()
+
+
+def current_trace() -> Optional["Trace"]:
+    """The trace the calling thread is working under, or None.
+
+    Set by :func:`activate_trace` around publisher interception and
+    subscriber message processing; read by ``Histogram.record`` when an
+    exemplar threshold is armed."""
+    return getattr(_active, "trace", None)
+
+
+@contextmanager
+def activate_trace(trace: Optional["Trace"]):
+    """Make ``trace`` the thread's current trace for the block (no-op
+    context when ``trace`` is None)."""
+    previous = getattr(_active, "trace", None)
+    _active.trace = trace
+    try:
+        yield trace
+    finally:
+        _active.trace = previous
+
+
+_trace_ids = itertools.count(1)
+
+
 class Span:
     """One timed pipeline stage of one message."""
 
@@ -99,10 +144,15 @@ class Trace:
         app: str = "",
         spans: Optional[List[Span]] = None,
         marks: Optional[Dict[str, float]] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.app = app
         self.spans: List[Span] = list(spans or [])
         self.marks: Dict[str, float] = dict(marks or {})
+        #: Stable identity: standalone traces (audits) get a process-local
+        #: serial; traces that attach to a message adopt the message uid,
+        #: so an exemplar links straight to the offending message.
+        self.trace_id = trace_id if trace_id is not None else f"t{next(_trace_ids)}"
 
     def add(self, stage: str, start: float, duration: float) -> None:
         self.spans.append(Span(stage, start, duration))
@@ -122,6 +172,7 @@ class Trace:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "trace_id": self.trace_id,
             "app": self.app,
             "spans": [span.to_dict() for span in self.spans],
             "marks": self.marks,
@@ -133,21 +184,69 @@ class Trace:
             app=data.get("app", ""),
             spans=[Span.from_dict(s) for s in data.get("spans", [])],
             marks=data.get("marks", {}),
+            trace_id=data.get("trace_id"),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Trace app={self.app} stages={self.stages()}>"
+        return f"<Trace {self.trace_id} app={self.app} stages={self.stages()}>"
+
+
+#: Sampling decisions hash into this many buckets; rates finer than
+#: 1/SAMPLE_BUCKETS round to zero.
+SAMPLE_BUCKETS = 1_000_000
+
+
+class SpanLog:
+    """Publisher-side span collection without a :class:`Trace`.
+
+    Duck-types ``Trace.add`` so the shared dependency-collection and
+    version-register helpers feed it unchanged, but stores plain tuples:
+    at production sampling rates almost every message turns out to be
+    unsampled, and the hot path then never allocates a Trace or Span at
+    all — the real objects are built at :meth:`Tracer.attach_log` time,
+    only for messages that win the sampling draw.
+    """
+
+    __slots__ = ("spans",)
+
+    def __init__(self) -> None:
+        self.spans: List[tuple] = []
+
+    def add(self, stage: str, start: float, duration: float) -> None:
+        self.spans.append((stage, start, duration))
 
 
 class Tracer:
-    """Per-ecosystem tracing switch and sink for finished traces."""
+    """Per-ecosystem tracing switch and sink for finished traces.
 
-    def __init__(self, capacity: int = 256) -> None:
+    ``sample_rate=1.0`` (the default) traces every message. Lower rates
+    make head-based decisions per message uid — ``stable`` (seeded md5-
+    free CRC) so the sampled set is identical for a given (seed, rate)
+    whatever thread or process asks, and a message is either traced on
+    every hop or on none.
+    """
+
+    def __init__(
+        self, capacity: int = 256, sample_rate: float = 1.0, seed: int = 0
+    ) -> None:
         self.enabled = False
+        self.sample_rate = sample_rate
+        self.seed = seed
         self._finished: "deque[Trace]" = deque(maxlen=capacity)
         self._lock = threading.Lock()
+        #: Finished traces are also handed here (the ecosystem points it
+        #: at ``FlightRecorder.record_trace``).
+        self.sink: Optional[Callable[[Trace], None]] = None
 
-    def enable(self) -> "Tracer":
+    def enable(
+        self, sample_rate: Optional[float] = None, seed: Optional[int] = None
+    ) -> "Tracer":
+        if sample_rate is not None:
+            if not 0.0 <= sample_rate <= 1.0:
+                raise ValueError("sample_rate must be within [0, 1]")
+            self.sample_rate = sample_rate
+        if seed is not None:
+            self.seed = seed
         self.enabled = True
         return self
 
@@ -161,10 +260,56 @@ class Tracer:
             return None
         return Trace(app=app)
 
+    def begin_log(self) -> Optional[SpanLog]:
+        """Start publisher-side span collection for one message — None
+        when tracing is off. Cheaper than :meth:`begin`: the Trace is
+        only materialised by :meth:`attach_log` if the uid is sampled."""
+        if not self.enabled:
+            return None
+        return SpanLog()
+
+    def attach_log(self, app: str, log: SpanLog, message: Any) -> Optional[Trace]:
+        """Sampling decision for a :class:`SpanLog`-collected message:
+        build the Trace and attach it iff the uid wins the draw."""
+        if not self.sampled(message.uid):
+            return None
+        trace = Trace(
+            app=app,
+            spans=[Span(stage, start, duration)
+                   for stage, start, duration in log.spans],
+            trace_id=message.uid,
+        )
+        message.trace = trace
+        return trace
+
+    def sampled(self, uid: str) -> bool:
+        """Deterministic head-based decision for one message uid."""
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        bucket = zlib.crc32(f"{self.seed}:{uid}".encode("utf-8")) % SAMPLE_BUCKETS
+        return bucket < int(rate * SAMPLE_BUCKETS)
+
+    def attach(self, trace: Optional[Trace], message: Any) -> bool:
+        """Attach ``trace`` to ``message`` iff its uid is sampled.
+
+        The trace adopts the message uid as its id (exemplars then link
+        straight to the message); an unsampled message ships with no
+        trace, so the subscriber side pays nothing for it."""
+        if trace is None or not self.sampled(message.uid):
+            return False
+        trace.trace_id = message.uid
+        message.trace = trace
+        return True
+
     def record(self, trace: Trace) -> None:
         """A subscriber finished applying a traced message."""
         with self._lock:
             self._finished.append(trace)
+        if self.sink is not None:
+            self.sink(trace)
 
     def finished(self) -> List[Trace]:
         with self._lock:

@@ -106,6 +106,7 @@ class SubscriberWorkerPool:
         registry = service.ecosystem.metrics
         self._reg_deadlocked = registry.counter(f"workers.{service.name}.deadlocked")
         self._reg_apply_errors = registry.counter(f"workers.{service.name}.apply_errors")
+        self._recorder = getattr(service.ecosystem, "recorder", None)
 
     @property
     def deadlocked_messages(self) -> int:
@@ -152,6 +153,7 @@ class SubscriberWorkerPool:
             try:
                 message = queue.pop(timeout=0.05)
             except QueueDecommissioned:
+                self._record_anomaly("queue.decommissioned")
                 if self.on_deadlock is not None:
                     self.on_deadlock(self.service)
                 return
@@ -180,6 +182,13 @@ class SubscriberWorkerPool:
                         queue.ack(message)
                         self._deadlocked.increment()
                         self._reg_deadlocked.increment()
+                        self._record_anomaly(
+                            "worker.deadlock",
+                            uid=message.uid,
+                            app=message.app,
+                            deliveries=message.delivery_count,
+                            action=self.give_up_action,
+                        )
                         if self.on_deadlock is not None:
                             self.on_deadlock(self.service)
                     else:
@@ -189,6 +198,7 @@ class SubscriberWorkerPool:
                     # (its ack/nack is a tolerated no-op). Route the
                     # decommission like the pop path does instead of
                     # letting the exception kill the worker silently.
+                    self._record_anomaly("queue.decommissioned")
                     if self.on_deadlock is not None:
                         self.on_deadlock(self.service)
                     return
@@ -196,6 +206,12 @@ class SubscriberWorkerPool:
                 with self._idle:
                     self._active -= 1
                     self._idle.notify_all()
+
+    def _record_anomaly(self, kind: str, **data: Any) -> None:
+        """Flight-recorder hook: give-ups and decommissions are exactly
+        the §6.5 events a postmortem needs frozen."""
+        if self._recorder is not None:
+            self._recorder.anomaly(kind, service=self.service.name, **data)
 
     # -- synchronisation -----------------------------------------------------------
 

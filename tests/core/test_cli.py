@@ -57,6 +57,30 @@ class TestCLI:
     def test_repair_without_demo_flag(self, capsys):
         assert main(["repair"]) == 1
 
-    def test_help_mentions_repair(self, capsys):
+    def test_watch_once(self, capsys):
+        assert main(["watch", "--once", "--writes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "replication health" in out
+        assert "pub -> sub" in out
+        assert "[OK]" in out
+        assert "flight recorder" in out
+
+    def test_watch_once_prometheus(self, capsys):
+        assert main(["watch", "--once", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_broker_routed counter" in out
+        assert "repro_monitor_pub_to_sub_lag" in out
+
+    def test_watch_once_json(self, capsys):
+        import json
+
+        assert main(["watch", "--once", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"]["links"][0]["status"] == "ok"
+        assert payload["metrics"]["broker.routed"] == 20
+
+    def test_help_mentions_repair_and_watch(self, capsys):
         assert main(["--help"]) == 0
-        assert "repair --demo" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "repair --demo" in out
+        assert "watch" in out

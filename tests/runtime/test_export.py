@@ -1,0 +1,112 @@
+"""Prometheus/JSON exposition round-trips for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.orm import Field, Model
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.monitor import mangle, parse_prometheus, to_json, to_prometheus
+
+
+def run_workload():
+    eco = Ecosystem()
+    eco.enable_tracing()
+    pub = eco.service("pub", database=MongoLike("p"))
+
+    @pub.model(publish=["name"], name="User")
+    class User(Model):
+        name = Field(str)
+
+    sub = eco.service("sub", database=PostgresLike("s"))
+
+    @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="User")
+    class SubUser(Model):
+        name = Field(str)
+
+    with pub.controller():
+        for i in range(5):
+            User.create(name=f"u{i}")
+    sub.subscriber.drain()
+    return eco
+
+
+class TestMangle:
+    def test_prefix_and_dot_mangling(self):
+        assert mangle("subscriber.sub.dep_wait") == "repro_subscriber_sub_dep_wait"
+        assert mangle("a-b.c") == "repro_a_b_c"
+
+    def test_pure_function_of_name(self):
+        assert mangle("broker.routed") == mangle("broker.routed")
+
+
+class TestRoundTrip:
+    def test_counters_and_histograms_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("broker.routed").increment(7)
+        histogram = registry.histogram("subscriber.sub.apply")
+        histogram.extend([0.1, 0.2, 0.3, 0.4])
+        parsed = parse_prometheus(to_prometheus(registry))
+        assert parsed["repro_broker_routed"] == 7
+        summary = parsed["repro_subscriber_sub_apply"]
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(1.0)
+        assert summary["quantiles"]["0.5"] == pytest.approx(histogram.percentile(50))
+        assert summary["quantiles"]["0.99"] == pytest.approx(histogram.percentile(99))
+
+    def test_every_pipeline_instrument_survives_exposition(self):
+        eco = run_workload()
+        parsed = parse_prometheus(to_prometheus(eco.metrics))
+        snapshot = eco.metrics.snapshot()
+        assert snapshot  # the workload populated the registry
+        for name, value in snapshot.items():
+            exported = parsed[mangle(name)]
+            if isinstance(value, dict):
+                assert exported["count"] == value["count"]
+            else:
+                assert exported == value
+
+    def test_names_stable_across_snapshots(self):
+        eco = run_workload()
+        first = set(parse_prometheus(to_prometheus(eco.metrics)))
+        # More traffic through the same pipeline: values move, the
+        # exported name set does not.
+        with eco.services["pub"].controller():
+            eco.services["pub"].registry["User"].create(name="later")
+        eco.services["sub"].subscriber.drain()
+        second = set(parse_prometheus(to_prometheus(eco.metrics)))
+        assert first == second
+
+    def test_type_headers_present(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.histogram("h").record(1.0)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_c counter" in text
+        assert "# TYPE repro_h summary" in text
+        assert 'repro_h{quantile="0.99"}' in text
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("!!! not exposition\n")
+
+
+class TestJsonExposition:
+    def test_document_carries_metrics_exemplars_and_health(self):
+        eco = run_workload()
+        payload = json.loads(to_json(eco.metrics, monitor=eco.monitor))
+        assert payload["metrics"]["broker.routed"] >= 5
+        assert "exemplars" in payload
+        health = payload["health"]
+        assert health["links"][0]["publisher"] == "pub"
+        assert health["links"][0]["status"] == "ok"
+
+    def test_monitor_is_optional(self):
+        registry = MetricsRegistry()
+        registry.counter("x").increment()
+        payload = json.loads(to_json(registry))
+        assert payload["metrics"]["x"] == 1
+        assert "health" not in payload

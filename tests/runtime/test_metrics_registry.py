@@ -5,6 +5,7 @@ import threading
 import pytest
 
 from repro.runtime.metrics import Counter, Histogram, MetricsRegistry
+from repro.runtime.tracing import Trace, activate_trace
 
 
 class TestCounter:
@@ -98,3 +99,106 @@ class TestHistogramPercentileCache:
         assert histogram._sorted is cached  # no re-sort between reads
         histogram.record(0)
         assert histogram._sorted is None  # invalidated on write
+
+
+class TestBoundedReservoir:
+    def test_samples_bounded_while_count_and_sum_stay_exact(self):
+        histogram = Histogram(reservoir_size=64, seed=1)
+        n = 10_000
+        for i in range(n):
+            histogram.record(float(i))
+        assert len(histogram._samples) == 64
+        assert histogram.count == n
+        assert histogram.total() == float(sum(range(n)))
+        assert histogram.mean() == pytest.approx(sum(range(n)) / n)
+
+    def test_percentiles_exact_until_reservoir_fills(self):
+        histogram = Histogram(reservoir_size=100, seed=3)
+        histogram.extend([float(i) for i in range(100, 0, -1)])
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_downsampling_is_deterministic_per_seed(self):
+        def load(seed):
+            histogram = Histogram(reservoir_size=32, seed=seed)
+            for i in range(5000):
+                histogram.record(float(i))
+            return list(histogram._samples)
+
+        assert load(7) == load(7)
+        assert load(7) != load(8)
+
+    def test_reset_reseeds_the_reservoir_rng(self):
+        histogram = Histogram(reservoir_size=16, seed=5)
+        for i in range(1000):
+            histogram.record(float(i))
+        first = list(histogram._samples)
+        histogram.reset()
+        assert histogram.count == 0 and histogram.total() == 0.0
+        for i in range(1000):
+            histogram.record(float(i))
+        assert list(histogram._samples) == first
+
+    def test_registry_seeds_are_stable_per_name(self):
+        def load(registry):
+            histogram = registry.histogram("subscriber.sub.apply")
+            for i in range(3000):
+                histogram.record(float(i))
+            return list(histogram._samples)
+
+        # Same name in two registries (two processes, in spirit) keeps
+        # the identical deterministic sample set.
+        assert load(MetricsRegistry()) == load(MetricsRegistry())
+
+    def test_reservoir_percentile_within_error(self):
+        histogram = Histogram(reservoir_size=512, seed=2)
+        for i in range(20_000):
+            histogram.record(float(i))
+        # Uniform ramp: reservoir p50 should land near the true median.
+        assert abs(histogram.percentile(50) - 10_000) < 2_500
+
+
+class TestExemplars:
+    def test_exemplar_captured_above_threshold_under_active_trace(self):
+        histogram = Histogram()
+        histogram.exemplar_threshold = 1.0
+        trace = Trace(app="pub", trace_id="pub:42")
+        with activate_trace(trace):
+            histogram.record(0.5)   # under threshold: no exemplar
+            histogram.record(2.5)   # over: captured
+            histogram.record(1.0)   # exactly at threshold: compliant
+        exemplars = histogram.exemplars()
+        assert [e["value"] for e in exemplars] == [2.5]
+        assert exemplars[0]["trace_id"] == "pub:42"
+
+    def test_no_exemplar_without_active_trace_or_threshold(self):
+        histogram = Histogram()
+        histogram.record(99.0)  # threshold unarmed
+        assert histogram.exemplars() == []
+        histogram.exemplar_threshold = 1.0
+        histogram.record(99.0)  # armed, but no active trace
+        assert histogram.exemplars() == []
+
+    def test_exemplar_ring_keeps_newest(self):
+        from repro.runtime.metrics import EXEMPLAR_CAPACITY
+
+        histogram = Histogram()
+        histogram.exemplar_threshold = 0.0
+        for i in range(EXEMPLAR_CAPACITY + 4):
+            with activate_trace(Trace(trace_id=f"t-{i}")):
+                histogram.record(float(i + 1))
+        ids = [e["trace_id"] for e in histogram.exemplars()]
+        assert len(ids) == EXEMPLAR_CAPACITY
+        assert ids[-1] == f"t-{EXEMPLAR_CAPACITY + 3}"
+        assert ids[0] == "t-4"  # oldest four evicted
+
+    def test_registry_exemplars_view(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("monitor.pub_to_sub.lag")
+        registry.histogram("other.h")  # empty: excluded from the view
+        histogram.exemplar_threshold = 0.1
+        with activate_trace(Trace(trace_id="pub:7")):
+            histogram.record(5.0)
+        view = registry.exemplars()
+        assert list(view) == ["monitor.pub_to_sub.lag"]
+        assert view["monitor.pub_to_sub.lag"][0]["trace_id"] == "pub:7"
