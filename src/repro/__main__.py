@@ -21,6 +21,12 @@ Commands:
         workload: per-link p50/p99 lag, SLO status, throughput and
         flight-recorder counts each round; --once runs a single round
         (the CI smoke mode), --prometheus/--json switch the exposition
+    flow --demo [--writes N] [--queue-limit Q]
+        flow-control subsystem demo: flood a small bounded queue and
+        watch graduated backpressure shed weak publishes before the
+        kill cliff, then a hot-object update storm coalesce and drain
+        through batched group-committed applies; exits 0 iff shedding
+        and coalescing both happened and the queue survived
     repair --demo [--objects N] [--lose K]
         reproduce the §6.5 message-loss incident (lost write-messages
         wedging a causal subscriber), audit replica divergence with
@@ -215,6 +221,10 @@ def main(argv: list) -> int:
         from repro.runtime.conformance.cli import conformance_command
 
         return conformance_command(args)
+    if command == "flow":
+        from repro.runtime.flow.demo import flow_command
+
+        return flow_command(args)
     if command == "repair":
         def _flag(name: str, default: int) -> int:
             if name in args:

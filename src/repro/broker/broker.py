@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.broker.message import Message
@@ -51,6 +52,10 @@ class Broker:
         #: routing gets a structured event so a postmortem dump names the
         #: exact lost message (§6.5).
         self.recorder = None
+        #: FlowController (bound via :meth:`attach_flow` when the owning
+        #: ecosystem enables flow control): every queue gets per-queue
+        #: admission credits and a coalescing index.
+        self.flow = None
         # Registry-backed atomic counters: concurrent publishers used to
         # bump plain ints outside self._lock and lose increments.
         self._dropped = self.metrics.counter("broker.dropped")
@@ -98,8 +103,18 @@ class Broker:
                 queue = SubscriberQueue(
                     subscriber_app, max_size=self._default_queue_limit
                 )
+                if self.flow is not None:
+                    queue.flow = self.flow.for_queue(queue)
                 self._queues[subscriber_app] = queue
             return queue
+
+    def attach_flow(self, controller) -> None:
+        """Enable flow control: give every queue (existing and future)
+        its per-queue admission/coalescing state."""
+        with self._lock:
+            self.flow = controller
+            for queue in self._queues.values():
+                queue.flow = controller.for_queue(queue)
 
     def bind(self, subscriber_app: str, publisher_app: str) -> SubscriberQueue:
         """Subscribe ``subscriber_app``'s queue to ``publisher_app``."""
@@ -131,6 +146,15 @@ class Broker:
                 for sub, pubs in self._bindings.items()
                 if message.app in pubs and sub in self._queues
             ]
+        # Graduated backpressure, stage one: stall the publishing thread
+        # while a target queue is out of admission credits ("slow before
+        # shed before kill"). Off unless the flow config sets a delay.
+        delay = 0.0
+        for queue in targets:
+            if queue.flow is not None:
+                delay = max(delay, queue.flow.publish_delay())
+        if delay > 0:
+            time.sleep(delay)
         for queue in targets:
             if self._should_drop():
                 self._dropped.increment()

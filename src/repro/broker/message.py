@@ -35,6 +35,8 @@ class Message:
         external_dependencies: Optional[Dict[str, int]] = None,
         uid: Optional[str] = None,
         trace: Optional[Trace] = None,
+        coalesced_uids: Optional[List[str]] = None,
+        increments: Optional[Dict[str, int]] = None,
     ) -> None:
         with _seq_lock:
             self.seq = next(_seq)  # broker-side FIFO tiebreaker
@@ -59,6 +61,16 @@ class Message:
         #: enabled. Serialised with the payload so it survives the wire
         #: round trip of :meth:`copy`.
         self.trace = trace
+        #: Uids of messages this one absorbed via flow-control
+        #: coalescing; their at-least-once obligation is discharged
+        #: when this message finishes.
+        self.coalesced_uids: List[str] = list(coalesced_uids or [])
+        #: Per-dependency counter bumps on apply. ``None`` means the
+        #: plain §4.2 rule (one per write dependency); coalesced
+        #: messages carry the summed increments of their constituents.
+        self.increments: Optional[Dict[str, int]] = (
+            dict(increments) if increments else None
+        )
         self.delivery_count = 0
         #: Queue-local dwell bookkeeping (set by ``SubscriberQueue``):
         #: runtime state of one queue's copy, never serialised.
@@ -77,6 +89,10 @@ class Message:
             "bootstrap": self.bootstrap,
             "repair": self.repair,
         }
+        if self.coalesced_uids:
+            payload["coalesced_uids"] = self.coalesced_uids
+        if self.increments:
+            payload["increments"] = self.increments
         if self.trace is not None:
             payload["trace"] = self.trace.to_dict()
         return json.dumps(payload)
@@ -95,7 +111,16 @@ class Message:
             external_dependencies=data.get("external_dependencies"),
             uid=data.get("uid"),
             trace=Trace.from_dict(data["trace"]) if data.get("trace") else None,
+            coalesced_uids=data.get("coalesced_uids"),
+            increments=data.get("increments"),
         )
+
+    def counter_increments(self) -> Dict[str, int]:
+        """Per-dependency counter bumps on apply: the plain §4.2 rule
+        (one per write dependency) unless coalescing summed them."""
+        if self.increments is not None:
+            return self.increments
+        return {dep: 1 for dep in self.dependencies}
 
     def copy(self) -> "Message":
         """Wire-format round trip: what each subscriber queue stores."""

@@ -36,14 +36,29 @@ class SubscriberQueue:
         self.decommissioned = False
         self.total_published = 0
         self.total_acked = 0
+        #: Per-queue flow state (admission credits + coalescing index),
+        #: attached by the broker when ``Ecosystem.enable_flow`` is on.
+        #: Its hooks are called under ``self._lock`` and never suspend.
+        self.flow = None
 
     # -- broker side ---------------------------------------------------------
 
     def publish(self, message: Message) -> None:
         yield_point("queue.publish", queue=self.name, message=message)
+        outcome, killed, survivor = "published", False, None
         with self._lock:
             if self.decommissioned:
-                dropped, killed = True, False
+                outcome = "dropped"
+            elif self.flow is not None and (
+                survivor := self.flow.coalesce(self._items, self._unacked, message)
+            ) is not None:
+                outcome = "coalesced"
+            elif (
+                self.flow is not None
+                and self.flow.admit(message, len(self._items) + len(self._unacked))
+                == "shed"
+            ):
+                outcome = "shed"
             else:
                 # Dwell is measured for every message (the lag monitor
                 # needs it), not just traced ones.
@@ -51,8 +66,9 @@ class SubscriberQueue:
                 if message.trace is not None:
                     message.trace.mark(MARK_ENQUEUED)
                 self._items.append(message)
+                if self.flow is not None:
+                    self.flow.register(message)
                 self.total_published += 1
-                dropped = False
                 killed = (
                     self.max_size is not None and len(self._items) > self.max_size
                 )
@@ -60,9 +76,23 @@ class SubscriberQueue:
                     self._items.clear()
                     self._unacked.clear()
                     self.decommissioned = True
-                self._available.notify_all()
-        if dropped:
+                    if self.flow is not None:
+                        self.flow.reset()
+                    # Everyone must notice the decommission, not just
+                    # one worker — the single wake-one case is below.
+                    self._available.notify_all()
+                else:
+                    self._available.notify()
+        if outcome == "dropped":
             yield_point("queue.drop.decommissioned", queue=self.name, message=message)
+            return
+        if outcome == "coalesced":
+            yield_point(
+                "queue.coalesced", queue=self.name, message=message, into=survivor
+            )
+            return
+        if outcome == "shed":
+            yield_point("queue.shed", queue=self.name, message=message)
             return
         yield_point("queue.published", queue=self.name, message=message)
         if killed:
@@ -74,6 +104,9 @@ class SubscriberQueue:
             self.decommissioned = False
             self._items.clear()
             self._unacked.clear()
+            if self.flow is not None:
+                self.flow.reset()
+            self._available.notify_all()
 
     # -- subscriber side -----------------------------------------------------
 
@@ -106,18 +139,63 @@ class SubscriberQueue:
                 raise QueueDecommissioned(self.name)
             if not self._items:
                 return None
-            message = self._items.popleft()
-            message.delivery_count += 1
-            self._unacked[message.seq] = message
-            if message.enqueued_at is not None:
-                message.dwell = trace_now() - message.enqueued_at
-            if message.trace is not None:
-                # Queue dwell: enqueue (or last redelivery) to this pop.
-                enqueued = message.trace.marks.get(MARK_ENQUEUED)
-                if enqueued is not None:
-                    message.trace.add(STAGE_DWELL, enqueued, trace_now() - enqueued)
+            message = self._take_locked()
         yield_point("queue.popped", queue=self.name, message=message)
         return message
+
+    def _take_locked(self) -> Message:
+        """Pop the head with full per-delivery bookkeeping. Caller
+        holds ``self._lock`` and has checked ``self._items``."""
+        message = self._items.popleft()
+        message.delivery_count += 1
+        self._unacked[message.seq] = message
+        if self.flow is not None:
+            self.flow.on_pop(message)
+        if message.enqueued_at is not None:
+            message.dwell = trace_now() - message.enqueued_at
+        if message.trace is not None:
+            # Queue dwell: enqueue (or last redelivery) to this pop.
+            enqueued = message.trace.marks.get(MARK_ENQUEUED)
+            if enqueued is not None:
+                message.trace.add(STAGE_DWELL, enqueued, trace_now() - enqueued)
+        return message
+
+    def pop_many(
+        self, max_n: int, timeout: Optional[float] = 0.0
+    ) -> List[Message]:
+        """Drain up to ``max_n`` messages in one lock round-trip.
+
+        Blocks like :meth:`pop` for the *first* message; the rest are
+        taken only if already queued. Each message gets the same
+        per-delivery bookkeeping as ``pop`` (delivery count, unacked
+        table, dwell, trace dwell span), and ``queue.popped`` is
+        emitted per message, in pop order, after the lock is released.
+        """
+        if max_n <= 0:
+            return []
+        yield_point("queue.pop", queue=self.name)
+        popped: List[Message] = []
+        with self._lock:
+            if self.decommissioned:
+                raise QueueDecommissioned(self.name)
+            if not self._items and timeout != 0.0:
+                if timeout is None:
+                    while not self._items and not self.decommissioned:
+                        self._available.wait()
+                else:
+                    deadline = time.monotonic() + timeout
+                    while not self._items and not self.decommissioned:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._available.wait(remaining)
+            if self.decommissioned:
+                raise QueueDecommissioned(self.name)
+            while self._items and len(popped) < max_n:
+                popped.append(self._take_locked())
+        for message in popped:
+            yield_point("queue.popped", queue=self.name, message=message)
+        return popped
 
     def ack(self, message: Message) -> None:
         yield_point("queue.ack", queue=self.name, message=message)
@@ -156,7 +234,9 @@ class SubscriberQueue:
                 if message.trace is not None:
                     message.trace.mark(MARK_ENQUEUED)
                 self._items.appendleft(message)
-                self._available.notify_all()
+                # One message back, one worker woken (the herd fix);
+                # the predicate re-check loop in pop absorbs races.
+                self._available.notify()
         if tolerated:
             yield_point("queue.nack.tolerated", queue=self.name, message=message)
         else:
@@ -171,7 +251,7 @@ class SubscriberQueue:
             count = len(self._unacked)
             self._unacked.clear()
             if count:
-                self._available.notify_all()
+                self._available.notify(count)
         if count:
             yield_point("queue.requeued", queue=self.name, count=count)
         return count

@@ -95,6 +95,9 @@ class Ecosystem:
         self.broker.recorder = self.recorder
         #: Per-link lag SLOs and the ``eco.monitor.health()`` report.
         self.monitor = LagMonitor(self)
+        #: FlowController once :meth:`enable_flow` has run; None keeps
+        #: the pre-flow per-message pipeline byte-for-byte.
+        self.flow = None
         self.services: Dict[str, Service] = {}
 
     def enable_tracing(
@@ -106,6 +109,26 @@ class Ecosystem:
         *sampled always-on* tracing: a deterministic per-uid decision
         picks which messages carry their trace across the wire."""
         return self.tracer.enable(sample_rate=sample_rate, seed=seed)
+
+    def enable_flow(self, config: Optional[Any] = None) -> Any:
+        """Switch on flow control (docs/flow_control.md) and return the
+        :class:`~repro.runtime.flow.FlowController`.
+
+        Every subscriber queue — existing and future — gets credit-based
+        admission with graduated backpressure ahead of the §4.4 kill
+        cliff, semantics-aware coalescing of same-object writes, and the
+        workers/drain switch to dependency-aware batched apply."""
+        from repro.runtime.flow import FlowConfig, FlowController
+
+        controller = FlowController(
+            config or FlowConfig(),
+            metrics=self.metrics,
+            mode_of=self.broker.publisher_mode,
+            recorder=self.recorder,
+        )
+        self.flow = controller
+        self.broker.attach_flow(controller)
+        return controller
 
     def service(self, name: str, **kwargs: Any) -> "Service":
         if name in self.services:

@@ -34,6 +34,7 @@ from repro.orm.model import pluralize
 from repro.runtime.interleave import observe_point, yield_point
 from repro.runtime.tracing import (
     STAGE_APPLY,
+    STAGE_BATCH,
     STAGE_DEP_WAIT,
     activate_trace,
     trace_now,
@@ -159,12 +160,22 @@ class SynapseSubscriber:
     # Synchronous draining (deterministic execution)
     # ------------------------------------------------------------------
 
+    def _flow_controller(self):
+        """The ecosystem's FlowController when batched apply is on."""
+        controller = getattr(self.service.ecosystem, "flow", None)
+        if controller is not None and controller.config.batch_apply:
+            return controller
+        return None
+
     def drain(self, max_rounds: int = 1000) -> int:
         """Process queued messages until quiescent; returns the number
         processed. Messages whose dependencies cannot be satisfied stay
         queued (the §6.5 deadlock scenario when messages were lost)."""
         if self.queue is None:
             return 0
+        controller = self._flow_controller()
+        if controller is not None:
+            return self._drain_batched(max_rounds, controller)
         processed = 0
         pending: List[Message] = []
         for _ in range(max_rounds):
@@ -190,6 +201,47 @@ class SynapseSubscriber:
                     progress = True
                 else:
                     remaining.append(message)
+            pending = remaining
+            if not progress and not len(self.queue):
+                break
+        for message in pending:
+            self.queue.nack(message)
+        if self.bootstrapping and self.queue is not None and not len(self.queue):
+            self.bootstrapping = False
+        return processed
+
+    def _drain_batched(self, max_rounds: int, controller) -> int:
+        """Drain via ``pop_many`` + :meth:`process_batch` — the same
+        quiescence semantics as :meth:`drain`, with the per-message
+        pop/verify/apply amortised across group-committed batches."""
+        batch_max = controller.config.batch_max
+        flow = self.queue.flow
+        processed = 0
+        pending: List[Message] = []
+        for _ in range(max_rounds):
+            try:
+                while True:
+                    batch = self.queue.pop_many(batch_max)
+                    if not batch:
+                        break
+                    pending.extend(batch)
+            except QueueDecommissioned:
+                for message in pending:
+                    self.queue.nack(message)
+                raise
+            progress = False
+            pending.sort(key=lambda m: m.seq)
+            remaining: List[Message] = []
+            for start in range(0, len(pending), batch_max):
+                chunk = pending[start:start + batch_max]
+                done, retry, _errors = self.process_batch(chunk)
+                for message in done:
+                    self.queue.ack(message)
+                    processed += 1
+                    progress = True
+                remaining.extend(retry)
+                if done and flow is not None:
+                    flow.batch_size.record(len(done))
             pending = remaining
             if not progress and not len(self.queue):
                 break
@@ -246,7 +298,7 @@ class SynapseSubscriber:
             # waiting, but keep full counter accounting so the configured
             # mode resumes cleanly once in sync.
             self._apply_timed(message)
-            store.apply(message.dependencies.keys())
+            store.apply_counts(message.counter_increments())
             self._finish(message)
             return True
 
@@ -273,13 +325,208 @@ class SynapseSubscriber:
             message.trace.add(STAGE_DEP_WAIT, wait_start, waited)
         self._apply_timed(message)
         # Increment every own-app dependency; externals are never bumped.
-        store.apply(message.dependencies.keys())
+        store.apply_counts(message.counter_increments())
         self._finish(message)
         return True
 
-    def _apply_timed(self, message: Message) -> None:
-        """Apply all operations, feeding the apply histogram/span."""
-        yield_point("apply", message=message)
+    # ------------------------------------------------------------------
+    # Batched processing (flow control)
+    # ------------------------------------------------------------------
+
+    def process_batch(
+        self, messages: List[Message], wait_timeout: float = 0.0
+    ) -> Tuple[List[Message], List[Message], int]:
+        """Verify and apply a ``pop_many`` batch; returns
+        ``(done, retry, errors)`` — ``done`` should be acked, ``retry``
+        nacked (or given up on), ``errors`` counts apply failures.
+
+        Dependencies are verified once for the whole batch: a message
+        is eligible when the store *plus the bumps earlier batch
+        members will make* satisfies it, so in-batch causal chains
+        (e.g. consecutive writes by the same session user) land
+        together. All eligible messages then apply in one engine
+        transaction (group commit) when the local engine supports
+        transactions; inside it, interleave events are record-only —
+        the batch is one atomic step, and a suspended scheduler step
+        while holding the engine mutex would deadlock the conformance
+        harness.
+        """
+        done: List[Message] = []
+        retry: List[Message] = []
+        eligible: List[Tuple[Message, str]] = []
+        store = self.service.subscriber_version_store
+        pending_bumps: Dict[str, int] = {}
+
+        def admit(message: Message, kind: str) -> None:
+            eligible.append((message, kind))
+            if kind != "weak":
+                for dep, amount in message.counter_increments().items():
+                    pending_bumps[dep] = pending_bumps.get(dep, 0) + amount
+
+        def required_of(message: Message, mode: str) -> Dict[str, int]:
+            required = dict(
+                effective_dependencies(
+                    message.dependencies, mode, set(self._object_deps(message))
+                )
+            )
+            required.update(message.external_dependencies)
+            return required
+
+        for message in sorted(messages, key=lambda m: m.seq):
+            if self._already_applied(message.uid):
+                self._duplicates.increment()
+                yield_point("dedup.duplicate", message=message)
+                done.append(message)
+                continue
+            if message.repair:
+                with activate_trace(message.trace):
+                    self._apply_repair(message)
+                done.append(message)
+                continue
+            if not self._generation_ready(message):
+                retry.append(message)
+                continue
+            mode = self.app_modes.get(message.app, WEAK)
+            if (self.bootstrapping or message.bootstrap) and mode != WEAK:
+                admit(message, "bootstrap")
+                continue
+            if mode == WEAK:
+                admit(message, "weak")
+                continue
+            required = required_of(message, mode)
+            yield_point("dep.check", message=message, required=required)
+            if all(
+                store.ops(dep) + pending_bumps.get(dep, 0) >= version
+                for dep, version in required.items()
+            ):
+                admit(message, "ordered")
+            else:
+                retry.append(message)
+
+        if not eligible and retry and wait_timeout > 0:
+            # Nothing applicable right now: block on the head retry's
+            # requirements like the single-message path would, instead
+            # of spinning nack/pop rounds that inflate delivery counts
+            # into premature give-ups.
+            first = retry[0]
+            mode = self.app_modes.get(first.app, WEAK)
+            if mode != WEAK:
+                required = required_of(first, mode)
+                wait_start = trace_now()
+                if store.wait_satisfied(required, wait_timeout):
+                    waited = trace_now() - wait_start
+                    self.dep_wait.record(waited)
+                    if first.trace is not None:
+                        first.trace.add(STAGE_DEP_WAIT, wait_start, waited)
+                    retry.pop(0)
+                    admit(first, "ordered")
+
+        if not eligible:
+            return done, retry, 0
+
+        batch = [message for message, _ in eligible]
+        db = self.service.database
+        use_tx = (
+            len(batch) > 1
+            and db is not None
+            and getattr(db, "supports_transactions", False)
+            and db.current_transaction() is None
+        )
+        yield_point("batch.apply", size=len(batch), group_commit=use_tx)
+        batch_start = trace_now()
+        completed: List[Tuple[Message, Dict[str, Any]]] = []
+        errors = 0
+        if use_tx:
+            try:
+                with db.begin():
+                    for message, kind in eligible:
+                        completed.append(
+                            (message, self._apply_in_batch(message, kind))
+                        )
+            except Exception:
+                errors = 1
+                landed = {id(message) for message, _ in completed}
+                retry.extend(m for m in batch if id(m) not in landed)
+                self._redo_after_rollback(completed)
+        else:
+            for message, kind in eligible:
+                try:
+                    completed.append(
+                        (message, self._apply_in_batch(message, kind))
+                    )
+                except Exception:
+                    errors += 1
+                    retry.append(message)
+        elapsed = trace_now() - batch_start
+        for message, _ in completed:
+            done.append(message)
+            if message.trace is not None:
+                message.trace.add(STAGE_BATCH, batch_start, elapsed)
+        yield_point("batch.applied", size=len(completed), retried=len(retry))
+        return done, retry, errors
+
+    def _apply_in_batch(
+        self, message: Message, kind: str
+    ) -> Dict[str, Dict[str, Any]]:
+        """Apply one eligible message inside the batch (record-only
+        events: the group-commit transaction may hold the engine
+        mutex). Counter bumps interleave per message, so in-batch
+        dependents see their deps land before their own apply event.
+        Returns {hashed object dep: operation} for the engine writes
+        that actually ran — the redo set for rollback recovery."""
+        store = self.service.subscriber_version_store
+        object_deps = self._object_deps(message)
+        with activate_trace(message.trace):
+            if kind == "weak":
+                applied = self._apply_weak(message, object_deps, record_only=True)
+                self._finish(message, record_only=True)
+                return {hashed: object_deps[hashed] for hashed in applied}
+            self._apply_timed(message, record_only=True)
+            store.apply_counts(message.counter_increments(), record_only=True)
+            self._finish(message, record_only=True)
+            return object_deps
+
+    def _redo_after_rollback(
+        self, completed: List[Tuple[Message, Dict[str, Dict[str, Any]]]]
+    ) -> None:
+        """A mid-batch engine fault rolled back the whole group-commit
+        transaction, but the completed prefix already bumped its
+        counters and entered the dedup window — re-processing would
+        dedup-skip it and its engine writes would be lost. Redo just
+        those writes outside any transaction: applies are idempotent
+        upserts, and the per-object freshness check skips objects a
+        concurrent fresher apply has already moved past. The ceiling
+        must budget for *every* completed sibling's bumps on the key —
+        a later batch member's session read-dep bumps the same counter,
+        and counting only the message's own increments would mistake
+        those sibling bumps for a concurrent fresher apply and skip a
+        redo whose write is genuinely lost."""
+        batch_bumps: Dict[str, int] = {}
+        for message, _ in completed:
+            for dep, amount in message.counter_increments().items():
+                batch_bumps[dep] = batch_bumps.get(dep, 0) + amount
+        for message, redo in completed:
+            increments = message.counter_increments()
+            for hashed, operation in redo.items():
+                version = message.dependencies.get(hashed, 0)
+                ceiling = version + batch_bumps.get(
+                    hashed, increments.get(hashed, 1)
+                )
+                with self._object_lock(hashed):
+                    if self.service.subscriber_version_store.ops(hashed) > ceiling:
+                        continue
+                    self._apply_operation(message.app, operation)
+
+    def _apply_timed(self, message: Message, record_only: bool = False) -> None:
+        """Apply all operations, feeding the apply histogram/span.
+
+        ``record_only=True`` (batched apply inside the group-commit
+        transaction) downgrades the interleave event to observe-only:
+        the caller holds the engine mutex, where a suspended scheduler
+        step would deadlock the conformance harness.
+        """
+        emit = observe_point if record_only else yield_point
+        emit("apply", message=message)
         start = trace_now()
         self._apply_all(message)
         elapsed = trace_now() - start
@@ -287,11 +534,12 @@ class SynapseSubscriber:
         if message.trace is not None:
             message.trace.add(STAGE_APPLY, start, elapsed)
 
-    def _finish(self, message: Message) -> None:
+    def _finish(self, message: Message, record_only: bool = False) -> None:
         """Common bookkeeping once a message has been applied."""
         self._mark_applied(message.uid)
         self._processed.increment()
-        yield_point("msg.finished", message=message)
+        emit = observe_point if record_only else yield_point
+        emit("msg.finished", message=message)
         monitor = getattr(self.service.ecosystem, "monitor", None)
         if monitor is not None:
             monitor.observe_applied(self.service.name, message)
@@ -324,7 +572,9 @@ class SynapseSubscriber:
             return
         with activate_trace(message.trace):
             self._apply_timed(message)
-            self.service.subscriber_version_store.apply(message.dependencies.keys())
+            self.service.subscriber_version_store.apply_counts(
+                message.counter_increments()
+            )
             self._finish(message)
 
     def _already_applied(self, uid: str) -> bool:
@@ -389,14 +639,22 @@ class SynapseSubscriber:
         self._finish(message)
 
     def _apply_weak(
-        self, message: Message, object_deps: Dict[str, Dict[str, Any]]
-    ) -> None:
+        self,
+        message: Message,
+        object_deps: Dict[str, Dict[str, Any]],
+        record_only: bool = False,
+    ) -> List[str]:
         """Weak delivery: apply fresh operations, discard stale ones, and
-        fast-forward per-object counters (§3.2, §4.2)."""
+        fast-forward per-object counters (§3.2, §4.2). Returns the
+        hashed deps actually applied (the batched path needs them to
+        redo engine writes after a mid-batch rollback)."""
         store = self.service.subscriber_version_store
+        claim = observe_point if record_only else yield_point
+        increments = message.counter_increments()
+        applied: List[str] = []
         for hashed, operation in object_deps.items():
             version = message.dependencies.get(hashed, 0)
-            yield_point(
+            claim(
                 "apply.weak.claim", message=message, dep=hashed, version=version
             )
             with self._object_lock(hashed):
@@ -411,7 +669,14 @@ class SynapseSubscriber:
                     "apply.weak", message=message, dep=hashed, version=version
                 )
                 self._apply_operation(message.app, operation)
-                store.fast_forward(hashed, version)
+                # A coalesced message stands in for several publisher
+                # bumps: fast-forward past all of them, or the lag audit
+                # would report a phantom per-merge counter deficit.
+                store.fast_forward(
+                    hashed, version + max(0, increments.get(hashed, 1) - 1)
+                )
+                applied.append(hashed)
+        return applied
 
     def _generation_ready(self, message: Message) -> bool:
         """Handle publisher generation bumps (§4.4): older-generation

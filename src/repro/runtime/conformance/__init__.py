@@ -19,6 +19,7 @@ from repro.runtime.conformance.checker import (
     INV_ALO,
     INV_CAUSAL,
     INV_DEDUP,
+    INV_FLOW,
     INV_GATE,
     INV_GLOBAL,
     INV_IDLE,
@@ -60,6 +61,7 @@ __all__ = [
     "INV_ALO",
     "INV_CAUSAL",
     "INV_DEDUP",
+    "INV_FLOW",
     "INV_GATE",
     "INV_GLOBAL",
     "INV_IDLE",

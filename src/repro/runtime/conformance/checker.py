@@ -32,6 +32,10 @@ Invariant identifiers (stable, used by tests and the CLI):
   the caller's timeout as a whole-call deadline.
 - ``drain.no-leaked-deliveries`` — ``drain`` returns popped-but-pending
   messages when the queue is decommissioned mid-round.
+- ``flow.admission-safety`` — graduated backpressure only sheds
+  weak-mode publishes (causal/global messages carry dependency bumps
+  downstream messages wait on; shedding one wedges the stream), and
+  every coalesced-away message is accounted through its survivor.
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ INV_WORKER = "worker.no-silent-death"
 INV_POP = "queue.pop-deadline"
 INV_IDLE = "fleet.idle-deadline"
 INV_LEAK = "drain.no-leaked-deliveries"
+INV_FLOW = "flow.admission-safety"
 
 
 @dataclass
@@ -88,6 +93,10 @@ class DeliveryChecker:
         self.in_flight: Dict[str, Any] = {}
         self.gave_up: set = set()
         self.crashed: set = set()
+        #: absorbed uid -> survivor uid (flow-control coalescing).
+        self.coalesced_into: Dict[str, str] = {}
+        #: uids the admission layer shed (never entered the queue).
+        self.shed: set = set()
         self.duplicates = 0
         self.tolerated_acks = 0
         self.tolerated_nacks = 0
@@ -140,6 +149,29 @@ class DeliveryChecker:
     def _on_queue_requeued(self, info: Dict[str, Any]) -> None:
         # Crash recovery returned every unacked delivery to the queue.
         self.in_flight.clear()
+
+    # -- flow control ---------------------------------------------------------
+
+    def _on_queue_shed(self, info: Dict[str, Any]) -> None:
+        """Credit-exhausted admission may only shed weak-mode traffic:
+        a causal/global message carries counter bumps that downstream
+        messages wait on, so shedding it wedges the stream (the §4.4
+        kill remains the last resort for those)."""
+        message = info["message"]
+        self.shed.add(message.uid)
+        if self._mode_for(message) != WEAK:
+            self.violation(
+                INV_FLOW,
+                f"admission shed {self._mode_for(message)}-mode message "
+                f"{message.uid} — only weak-mode publishes are sheddable",
+            )
+
+    def _on_queue_coalesced(self, info: Dict[str, Any]) -> None:
+        """An absorbed message is accounted through its survivor: track
+        the merge edge so finalize() can follow it."""
+        message, survivor = info["message"], info["into"]
+        self.entered.setdefault(message.uid, _MessageFate(message))
+        self.coalesced_into[message.uid] = survivor.uid
 
     # -- apply-side invariants -----------------------------------------------
 
@@ -277,13 +309,27 @@ class DeliveryChecker:
 
     # -- end-of-schedule accounting ------------------------------------------
 
+    def _accounted(self, uid: str) -> bool:
+        """Applied or given up — following coalesce edges: an absorbed
+        message is delivered exactly when its (transitive) survivor is."""
+        seen = set()
+        while uid not in seen:
+            seen.add(uid)
+            fate = self.entered.get(uid)
+            if (fate is not None and fate.finishes > 0) or uid in self.gave_up:
+                return True
+            survivor = self.coalesced_into.get(uid)
+            if survivor is None:
+                return False
+            uid = survivor
+        return False
+
     def finalize(self) -> List[Violation]:
         """At-least-once: every enqueued message must be applied or
         explicitly accounted for by the end of a quiescent schedule."""
         self._step, self._worker = -1, ""
-        for uid, fate in sorted(self.entered.items()):
-            if fate.finishes == 0 and uid not in self.gave_up \
-                    and not self.queue_decommissioned:
+        for uid in sorted(self.entered):
+            if not self._accounted(uid) and not self.queue_decommissioned:
                 self.violations.append(
                     Violation(
                         INV_ALO,

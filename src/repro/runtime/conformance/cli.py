@@ -4,12 +4,12 @@ Two shapes:
 
 - ``conformance --seeds N [--mode M]`` — run the directed scenarios,
   then sweep N seeds per delivery mode (each seed once plain, once
-  with crash-recovery, a slice with broker faults). This is the CI
-  smoke step. Every failing schedule prints the exact CLI line that
-  replays it.
-- ``conformance --seed K --mode M [--crash --faults F ...]`` — replay
-  one schedule and dump its violations and trace tail. This is the
-  line the sweep prints when something fails.
+  with crash-recovery, once with flow control — coalescing + batched
+  apply — and a slice with broker faults). This is the CI smoke step.
+  Every failing schedule prints the exact CLI line that replays it.
+- ``conformance --seed K --mode M [--crash --flow --faults F ...]`` —
+  replay one schedule and dump its violations and trace tail. This is
+  the line the sweep prints when something fails.
 """
 
 from __future__ import annotations
@@ -58,6 +58,7 @@ def conformance_command(args: List[str]) -> int:
         generation_bump="--generation-bump" in args,
         queue_limit=_int_flag(args, "--queue-limit", None),
         hash_space=_int_flag(args, "--hash-space", None),
+        flow="--flow" in args,
     )
 
     if seed is not None:
@@ -78,7 +79,10 @@ def conformance_command(args: List[str]) -> int:
 
     failures = 0
 
-    print("directed scenarios (pop deadline, fleet deadline, drain leak):")
+    print(
+        "directed scenarios (pop deadline, fleet deadline, drain leak, "
+        "unsafe coalesce):"
+    )
     for name, violations in run_directed_scenarios().items():
         if violations:
             failures += 1
@@ -93,7 +97,7 @@ def conformance_command(args: List[str]) -> int:
     configs = default_matrix(seeds, modes=modes, base=base)
     print(
         f"sweeping {len(configs)} schedules "
-        f"({seeds} seeds x {len(modes)} modes, plain + crash-recovery):"
+        f"({seeds} seeds x {len(modes)} modes, plain + crash-recovery + flow):"
     )
     checked = 0
     for config in configs:

@@ -58,6 +58,9 @@ class ScheduleConfig:
     queue_limit: Optional[int] = None
     #: Dependency-hash space (None = full names).
     hash_space: Optional[int] = None
+    #: Enable the flow-control subsystem: coalescing at publish plus
+    #: pop_many/process_batch subscriber workers (batched group commit).
+    flow: bool = False
     max_steps: int = 50_000
 
     def describe(self) -> str:
@@ -70,6 +73,8 @@ class ScheduleConfig:
             extras.append("genbump")
         if self.queue_limit is not None:
             extras.append(f"qlimit={self.queue_limit}")
+        if self.flow:
+            extras.append("flow")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"mode={self.mode} seed={self.seed}{suffix}"
 
@@ -107,6 +112,8 @@ class ScheduleResult:
             parts.append(f"--queue-limit {self.config.queue_limit}")
         if self.config.hash_space is not None:
             parts.append(f"--hash-space {self.config.hash_space}")
+        if self.config.flow:
+            parts.append("--flow")
         return " ".join(parts)
 
 
@@ -193,6 +200,14 @@ class ConformanceHarness:
 
         self.doc_cls = PubDoc
 
+        if config.flow:
+            from repro.runtime.flow import FlowConfig
+
+            # Small batches keep schedules short; admission capacity
+            # comes from the queue limit (admission stays off on
+            # unbounded queues, coalescing/batching still exercise).
+            self.eco.enable_flow(FlowConfig(batch_max=3, throttle_delay=0.0))
+
     # -- trace normalization --------------------------------------------------
 
     def _alias(self, message: Any) -> str:
@@ -208,7 +223,7 @@ class ConformanceHarness:
         parts = [worker, label]
         for key in sorted(info):
             value = info[key]
-            if key in ("message", "blocked_on"):
+            if key in ("message", "blocked_on", "into"):
                 parts.append(f"{key}={self._alias(value)}")
             elif key == "required":
                 rendered = ",".join(
@@ -258,6 +273,12 @@ class ConformanceHarness:
         return unacked <= self.crashed_uids
 
     def _subscriber_loop(self, wid: str, abandon_after: Optional[int] = None) -> None:
+        if self.config.flow and abandon_after is None:
+            # Flow schedules drain through pop_many/process_batch;
+            # crash workers keep the single-message path (they must
+            # abandon one precise in-flight delivery).
+            self._subscriber_loop_batched(wid)
+            return
         subscriber = self.sub.subscriber
         queue = subscriber.queue
         handled = 0
@@ -298,6 +319,47 @@ class ConformanceHarness:
                 # fixed queue tolerates the ack; a decommission raised
                 # from a nested pop path lands here and the worker exits
                 # cleanly instead of dying silently.
+                observe_point("worker.decommissioned", worker=wid)
+                return
+            except Exception as exc:  # noqa: BLE001 — the invariant itself
+                self.checker.violation(
+                    INV_WORKER,
+                    f"worker {wid} died on unexpected {type(exc).__name__}: {exc}",
+                )
+                return
+
+    def _subscriber_loop_batched(self, wid: str) -> None:
+        """The flow-control drain loop: ``pop_many`` batches verified
+        and applied through ``process_batch`` (group commit), with the
+        same give-up and decommission semantics as the single path."""
+        subscriber = self.sub.subscriber
+        queue = subscriber.queue
+        batch_max = self.eco.flow.config.batch_max
+        while True:
+            try:
+                yield_point("worker.tick", worker=wid)
+                try:
+                    batch = queue.pop_many(batch_max, timeout=0.0)
+                except QueueDecommissioned:
+                    observe_point("worker.decommissioned", worker=wid)
+                    return
+                if not batch:
+                    if self._drained():
+                        observe_point("worker.drained", worker=wid)
+                        return
+                    continue
+                done, retry, _errors = subscriber.process_batch(
+                    batch, wait_timeout=0.0
+                )
+                for message in done:
+                    queue.ack(message)
+                for message in retry:
+                    if message.delivery_count >= self.config.max_deliveries:
+                        observe_point("worker.gave_up", worker=wid, message=message)
+                        queue.ack(message)
+                    else:
+                        queue.nack(message)
+            except QueueDecommissioned:
                 observe_point("worker.decommissioned", worker=wid)
                 return
             except Exception as exc:  # noqa: BLE001 — the invariant itself
@@ -385,6 +447,8 @@ class ConformanceHarness:
             "gave_up": len(self.checker.gave_up),
             "tolerated_acks": self.checker.tolerated_acks,
             "tolerated_nacks": self.checker.tolerated_nacks,
+            "coalesced": len(self.checker.coalesced_into),
+            "shed": len(self.checker.shed),
             "decommissioned": queue.decommissioned if queue is not None else False,
             "steps": self.scheduler.steps,
         }
@@ -414,8 +478,9 @@ def default_matrix(
     base: Optional[ScheduleConfig] = None,
 ) -> List[ScheduleConfig]:
     """The sweep the CI smoke step runs: for every mode and seed, one
-    plain schedule plus a crash-recovery variant, with broker faults
-    folded into a slice of the seeds."""
+    plain schedule, a crash-recovery variant, and a flow-control
+    variant (coalescing + batched group-commit apply), with broker
+    faults folded into a slice of the seeds."""
     base = base or ScheduleConfig()
     configs: List[ScheduleConfig] = []
     for mode in modes or [CAUSAL, GLOBAL, WEAK]:
@@ -431,6 +496,16 @@ def default_matrix(
                     seed=seed,
                     crash_recovery=True,
                     faults=0,
+                )
+            )
+            configs.append(
+                replace(
+                    base,
+                    mode=mode,
+                    seed=seed,
+                    flow=True,
+                    faults=faults,
+                    crash_recovery=False,
                 )
             )
     return configs

@@ -15,6 +15,9 @@ reports checker violations under the same stable invariant names:
 - :func:`drain_leak_scenario` (``drain.no-leaked-deliveries``): a
   queue decommissioned mid-``drain`` must get its already-popped
   pending messages back (tolerated nacks), not leak them.
+- :func:`flow_coalesce_safety_scenario` (``flow.admission-safety``):
+  adjacent causal writes coalesce, but merging past an intervener
+  whose dependencies overlap the survivor's keys is rejected.
 
 The module also pins the *committed schedules* for the two interleaving
 races (generation gate vs in-flight deliveries; ack after
@@ -33,6 +36,7 @@ from repro.broker.message import Message
 from repro.broker.queue import SubscriberQueue
 from repro.errors import QueueDecommissioned
 from repro.runtime.conformance.checker import (
+    INV_FLOW,
     INV_IDLE,
     INV_LEAK,
     INV_POP,
@@ -306,10 +310,115 @@ def drain_leak_scenario(queue_limit: int = 4) -> List[Violation]:
     return violations
 
 
+# -- flow.admission-safety ---------------------------------------------------
+
+def flow_coalesce_safety_scenario() -> List[Violation]:
+    """Causal-mode coalescing safety, both directions.
+
+    Adjacent same-object writes must merge (create+update, then the
+    trailing update pair), but merging *past an intervener* whose
+    dependencies overlap the survivor's keys must be rejected: the
+    intervener waits on counter bumps the survivor carries, and the
+    conservative union check refuses any overlap. The scenario then
+    drains and asserts the coalesced stream converges to the final
+    payload with nothing left queued."""
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+    from repro.runtime.flow import FlowConfig
+
+    eco = Ecosystem()
+    eco.enable_flow(FlowConfig(batch_max=4))
+    pub = eco.service(
+        "pub", database=MongoLike("pub-db"), delivery_mode="causal"
+    )
+
+    @pub.model(publish=["name", "value"], name="Doc")
+    class PubDoc(Model):
+        name = Field(str)
+        value = Field(int, default=0)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(
+        subscribe={"from": "pub", "fields": ["name", "value"], "mode": "causal"},
+        name="Doc",
+    )
+    class SubDoc(Model):
+        name = Field(str)
+        value = Field(int, default=0)
+
+    queue = sub.subscriber.queue
+    violations: List[Violation] = []
+
+    with pub.controller():
+        target = PubDoc.create(name="target", value=0)
+    with pub.controller():
+        target.value = 1
+        target.save()  # adjacent to the create: merges into it
+    if eco.metrics.value("flow.sub.coalesced") != 1 or len(queue) != 1:
+        violations.append(
+            Violation(
+                INV_FLOW,
+                "adjacent same-object causal writes did not coalesce "
+                f"(coalesced={eco.metrics.value('flow.sub.coalesced')}, "
+                f"queued={len(queue)})",
+            )
+        )
+
+    with pub.controller() as ctx:
+        # The intervener *reads* the target: its message depends on the
+        # target's counter, which the queued create+update increments.
+        ctx.add_read_deps(target)
+        PubDoc.create(name="reader", value=0)
+    with pub.controller():
+        target.value = 2
+        target.save()  # must NOT merge past the reader
+
+    rejected = eco.metrics.value("flow.sub.coalesce_rejected")
+    if rejected < 1 or len(queue) != 3:
+        violations.append(
+            Violation(
+                INV_FLOW,
+                "unsafe causal coalesce was not rejected: the intervener's "
+                "dependencies overlap the survivor's keys "
+                f"(rejected={rejected}, queued={len(queue)})",
+            )
+        )
+
+    with pub.controller():
+        target.value = 3
+        target.save()  # adjacent to the rejected update: safe again
+    if eco.metrics.value("flow.sub.coalesced") != 2 or len(queue) != 3:
+        violations.append(
+            Violation(
+                INV_FLOW,
+                "safe trailing coalesce did not happen "
+                f"(coalesced={eco.metrics.value('flow.sub.coalesced')}, "
+                f"queued={len(queue)})",
+            )
+        )
+
+    sub.subscriber.drain()
+    row = SubDoc.__mapper__.find(target.id)
+    final = row["value"] if row is not None else None
+    if len(queue) or final != 3:
+        violations.append(
+            Violation(
+                INV_FLOW,
+                f"coalesced stream did not converge: queued={len(queue)}, "
+                f"replicated value={final!r} (expected 3)",
+            )
+        )
+    return violations
+
+
 def run_directed_scenarios() -> Dict[str, List[Violation]]:
-    """All three directed scenarios; the CLI runs these before sweeping."""
+    """All directed scenarios; the CLI runs these before sweeping."""
     return {
         "queue.pop-deadline": pop_deadline_scenario(),
         "fleet.idle-deadline": fleet_idle_deadline_scenario(),
         "drain.no-leaked-deliveries": drain_leak_scenario(),
+        "flow.unsafe-coalesce-rejected": flow_coalesce_safety_scenario(),
     }

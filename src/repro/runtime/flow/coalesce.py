@@ -1,0 +1,117 @@
+"""Semantics-aware message coalescing.
+
+Consecutive queued writes to the same ``(app, model, id)`` collapse into
+one message where the delivery mode allows it:
+
+- **weak**: always safe. Subscribers apply fresh-or-discard per object,
+  so delivering only the newest payload (with per-key max dependency
+  versions) is indistinguishable from delivering both and discarding
+  the older one.
+- **causal / global**: safe only when the dependency union is preserved.
+  The merged message carries, per dependency key, the max of the
+  survivor's version and the absorbed's version discounted by the
+  survivor's own increments (the absorbed write was emitted assuming
+  the survivor had applied), and the *sum* of the constituents' counter
+  increments (so downstream messages that counted on both bumps still
+  become satisfiable). The
+  one structural hazard is a dependency cycle: if any message queued
+  *between* the two candidates (or in flight) depends on a key the
+  earlier candidate increments, merging would make that intervener wait
+  on a bump that now sits behind the intervener itself. Such merges are
+  rejected; an adjacent pair with no conflicting intervener is safe.
+
+The survivor is always the *earlier* message: it keeps its uid,
+position, and ``published_at`` (so lag measurements stay honest), and
+records the absorbed uids in ``coalesced_uids`` for at-least-once
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.broker.message import Message
+
+
+def coalesce_key(message: Message) -> Optional[Tuple[str, str, Any]]:
+    """Index key for coalescing, or ``None`` if the message is not a
+    candidate (multi-op transactions, deletes, bootstrap/repair traffic
+    keep their own envelope)."""
+    if message.bootstrap or message.repair:
+        return None
+    if len(message.operations) != 1:
+        return None
+    operation = message.operations[0]
+    if operation.get("operation") == "delete":
+        return None
+    types = operation.get("types") or []
+    if not types:
+        return None
+    return (message.app, types[0], operation.get("id"))
+
+
+def dep_keys(message: Message) -> set:
+    """Every dependency key a message waits on (write + external)."""
+    return set(message.dependencies) | set(message.external_dependencies)
+
+
+def counter_increments(message: Message) -> Dict[str, int]:
+    """How much applying this message bumps each dependency counter
+    (see :meth:`Message.counter_increments`)."""
+    return dict(message.counter_increments())
+
+
+def merge_into(survivor: Message, absorbed: Message) -> None:
+    """Fold ``absorbed`` (the newer write) into ``survivor`` in place.
+
+    Attributes merge newest-wins, the operation stays a create if the
+    survivor was one (the row must still come into existence),
+    dependency versions take the per-key max, and counter increments
+    sum so version arithmetic downstream is preserved.
+    """
+    old_op = survivor.operations[0]
+    new_op = absorbed.operations[0]
+    attributes = dict(old_op.get("attributes") or {})
+    attributes.update(new_op.get("attributes") or {})
+    merged_op = dict(new_op)
+    merged_op["attributes"] = attributes
+    if old_op.get("operation") == "create":
+        merged_op["operation"] = "create"
+    survivor.operations = [merged_op]
+
+    surv_incr = counter_increments(survivor)
+    increments = dict(surv_incr)
+    for dep, amount in counter_increments(absorbed).items():
+        increments[dep] = increments.get(dep, 0) + amount
+    survivor.increments = increments
+
+    # The absorbed message's dependency versions were emitted *after*
+    # the survivor's publisher-side bumps, so they assume the survivor
+    # has already applied — including its own object and the shared
+    # session-user key. Both now land in one atomic apply: discount the
+    # survivor's increments per key, or the merged message would wait
+    # on bumps it itself carries (a self-deadlock). Per-key max with
+    # the survivor's own requirement keeps every external prerequisite.
+    for dep, version in absorbed.dependencies.items():
+        version -= surv_incr.get(dep, 0)
+        if version > survivor.dependencies.get(dep, -1):
+            survivor.dependencies[dep] = version
+    for dep, version in absorbed.external_dependencies.items():
+        if version > survivor.external_dependencies.get(dep, -1):
+            survivor.external_dependencies[dep] = version
+
+    survivor.coalesced_uids.append(absorbed.uid)
+    survivor.coalesced_uids.extend(absorbed.coalesced_uids)
+    if survivor.trace is None and absorbed.trace is not None:
+        survivor.trace = absorbed.trace
+
+
+def union_conflicts(survivor: Message, intervener: Message) -> bool:
+    """Would coalescing past ``intervener`` break the dependency union?
+
+    The merged message's counter bumps land only when *it* applies; an
+    intervener that waits on any key the survivor increments would then
+    wait on a bump queued behind itself — a cycle. Conservative: any
+    key overlap rejects the merge.
+    """
+    return bool(set(survivor.dependencies) & dep_keys(intervener))

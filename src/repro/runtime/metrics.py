@@ -76,6 +76,41 @@ class Counter:
         return f"<Counter {self.value}>"
 
 
+class Gauge:
+    """A thread-safe point-in-time value (can go up and down).
+
+    Flow control needs one for admission credits: a counter only grows,
+    but credits drain and refill with queue depth.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float = 1.0) -> float:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.value}>"
+
+
 class Histogram:
     """Collects samples; reports exact mean/total and reservoir percentiles.
 
@@ -210,11 +245,21 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        """A name belongs to exactly one instrument kind."""
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("histogram", self._histograms),
+            ("gauge", self._gauges),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(f"{name!r} is already a {other_kind}")
 
     def counter(self, name: str) -> Counter:
         with self._lock:
-            if name in self._histograms:
-                raise ValueError(f"{name!r} is already a histogram")
+            self._check_kind(name, "counter")
             counter = self._counters.get(name)
             if counter is None:
                 counter = self._counters[name] = Counter()
@@ -222,14 +267,21 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
-            if name in self._counters:
-                raise ValueError(f"{name!r} is already a counter")
+            self._check_kind(name, "histogram")
             histogram = self._histograms.get(name)
             if histogram is None:
                 # Per-name seed: reservoir downsampling is deterministic
                 # run-to-run without correlating across instruments.
                 histogram = self._histograms[name] = Histogram(seed=_seed_for(name))
             return histogram
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            self._check_kind(name, "gauge")
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
 
     def increment(self, name: str, amount: int = 1) -> None:
         self.counter(name).increment(amount)
@@ -243,22 +295,30 @@ class MetricsRegistry:
     def instruments(self) -> "tuple[Dict[str, Counter], Dict[str, Histogram]]":
         """(counters, histograms) shallow copies — the exposition layer
         (``repro.runtime.monitor.export``) needs the raw instruments, not
-        just the summary snapshot."""
+        just the summary snapshot. Gauges have their own accessor
+        (:meth:`gauges`) so pre-gauge callers keep the 2-tuple shape."""
         with self._lock:
             return dict(self._counters), dict(self._histograms)
 
-    def snapshot(self, prefix: str = "") -> Dict[str, Union[int, Dict[str, float]]]:
+    def gauges(self) -> Dict[str, Gauge]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Union[int, float, Dict[str, float]]]:
         """Every instrument under ``prefix``, sorted by name. Counters
-        export their value, histograms their summary dict."""
+        and gauges export their value, histograms their summary dict."""
         with self._lock:
             counters = {n: c for n, c in self._counters.items() if n.startswith(prefix)}
             histograms = {
                 n: h for n, h in self._histograms.items() if n.startswith(prefix)
             }
-        out: Dict[str, Union[int, Dict[str, float]]] = {}
-        for name in sorted(set(counters) | set(histograms)):
+            gauges = {n: g for n, g in self._gauges.items() if n.startswith(prefix)}
+        out: Dict[str, Union[int, float, Dict[str, float]]] = {}
+        for name in sorted(set(counters) | set(histograms) | set(gauges)):
             if name in counters:
                 out[name] = counters[name].value
+            elif name in gauges:
+                out[name] = gauges[name].value
             else:
                 out[name] = histograms[name].summary()
         return out
@@ -278,7 +338,11 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         with self._lock:
-            instruments = list(self._counters.values()) + list(self._histograms.values())
+            instruments = (
+                list(self._counters.values())
+                + list(self._histograms.values())
+                + list(self._gauges.values())
+            )
         for instrument in instruments:
             instrument.reset()
 

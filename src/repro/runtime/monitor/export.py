@@ -1,7 +1,8 @@
 """Registry exposition: Prometheus text format and JSON.
 
-Counters export as ``counter`` samples, histograms as ``summary``
-families (``{quantile="0.5"|"0.99"}`` + ``_sum`` + ``_count``), all
+Counters export as ``counter`` samples, gauges as ``gauge`` samples,
+histograms as ``summary`` families (``{quantile="0.5"|"0.99"}`` +
+``_sum`` + ``_count``), all
 under the ``repro_`` prefix with dots mangled to underscores — e.g.
 ``subscriber.sub.dep_wait`` becomes ``repro_subscriber_sub_dep_wait``.
 Mangling is a pure function of the registry name, so exposition names
@@ -40,11 +41,16 @@ def mangle(name: str) -> str:
 def to_prometheus(registry: Any) -> str:
     """Render every instrument of ``registry`` in Prometheus text format."""
     counters, histograms = registry.instruments()
+    gauges = registry.gauges() if hasattr(registry, "gauges") else {}
     lines = []
     for name in sorted(counters):
         sample = mangle(name)
         lines.append(f"# TYPE {sample} counter")
         lines.append(f"{sample} {counters[name].value}")
+    for name in sorted(gauges):
+        sample = mangle(name)
+        lines.append(f"# TYPE {sample} gauge")
+        lines.append(f"{sample} {gauges[name].value:.9g}")
     for name in sorted(histograms):
         histogram = histograms[name]
         sample = mangle(name)

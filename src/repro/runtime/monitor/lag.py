@@ -118,6 +118,11 @@ class LinkHealth:
     status: str = STATUS_NO_DATA
     #: Which signals fired: "p99_lag", "burn_rate", "stalled".
     reasons: List[str] = field(default_factory=list)
+    #: Flow-control admission state of the subscriber's queue
+    #: ("open"/"throttled"/"shedding"), or "" when flow control is off.
+    backpressure: str = ""
+    #: Remaining admission credits (None when flow control is off).
+    credits: Optional[int] = None
 
     @property
     def breached(self) -> bool:
@@ -138,6 +143,8 @@ class LinkHealth:
             "in_flight": self.in_flight,
             "oldest_in_transit": self.oldest_in_transit,
             "version_lag": self.version_lag,
+            "backpressure": self.backpressure,
+            "credits": self.credits,
             "slo": {
                 "p99_lag": self.slo.p99_lag,
                 "over_budget": self.slo.over_budget,
@@ -150,12 +157,15 @@ class LinkHealth:
         tag = self.status.upper()
         if self.reasons:
             tag += f" ({','.join(self.reasons)})"
-        return (
+        line = (
             f"{self.publisher} -> {self.subscriber}: "
             f"p50={self.p50 * 1000:.1f}ms p99={self.p99 * 1000:.1f}ms "
             f"burn={self.burn_rate:.2f} queued={self.queued} "
-            f"in_flight={self.in_flight} vlag={self.version_lag} [{tag}]"
+            f"in_flight={self.in_flight} vlag={self.version_lag}"
         )
+        if self.backpressure:
+            line += f" bp={self.backpressure}/{self.credits}"
+        return line + f" [{tag}]"
 
 
 @dataclass
@@ -262,6 +272,21 @@ class LagMonitor:
                 _link_metric(publisher, subscriber_name, "dwell")
             ).record(dwell)
 
+    def link_pressure(self, subscriber_name: str) -> float:
+        """Cheap AIMD signal for the flow-control batch sizer: the worst
+        ``window p99 / SLO p99`` across the subscriber's publisher links
+        (no full :meth:`health` evaluation, no queue scans)."""
+        with self._lock:
+            windows = list(self._windows.items())
+        worst = 0.0
+        for (publisher, subscriber), window in windows:
+            if subscriber != subscriber_name or not len(window):
+                continue
+            slo = self.slo_for(publisher, subscriber)
+            if slo.p99_lag > 0:
+                worst = max(worst, window.percentile(99) / slo.p99_lag)
+        return worst
+
     # -- link discovery -----------------------------------------------------
 
     def links(self) -> List[Tuple[str, str]]:
@@ -313,6 +338,10 @@ class LagMonitor:
         if service is not None:
             queue = service.subscriber.queue
             if queue is not None:
+                flow = queue.flow
+                if flow is not None and flow.capacity is not None:
+                    entry.backpressure = flow.state
+                    entry.credits = flow.credits
                 oldest = 0.0
                 queued = in_flight = 0
                 for message in queue.peek_all():

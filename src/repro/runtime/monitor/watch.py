@@ -28,10 +28,15 @@ def _build_demo_ecosystem() -> Tuple[Any, Any, type]:
     from repro.databases.relational import PostgresLike
     from repro.orm import Field, Model
 
+    from repro.runtime.flow import FlowConfig
+
     eco = Ecosystem()
     # Production posture: always-on tracing, every message sampled (the
-    # demo workload is tiny), exemplars armed by the SLO below.
+    # demo workload is tiny), exemplars armed by the SLO below. Flow
+    # control is on with an explicit capacity so the ``flow.*`` gauges
+    # and counters are live in every exposition round.
     eco.enable_tracing(sample_rate=1.0)
+    eco.enable_flow(FlowConfig(capacity=256))
     eco.monitor.set_slo("pub", "sub", LinkSLO(p99_lag=0.5, stall_after=5.0))
     pub = eco.service("pub", database=MongoLike("pub-db"))
 
@@ -73,6 +78,27 @@ def _render_round(eco: Any, round_no: int) -> List[str]:
         f"routed={eco.metrics.value('broker.routed')} "
         f"dropped={eco.metrics.value('broker.dropped')} "
         f"applied={applied}"
+    )
+    def _flow_sum(suffix: str) -> int:
+        return sum(
+            int(value)
+            for name, value in snapshot.items()
+            if name.startswith("flow.") and name.endswith(suffix)
+            and isinstance(value, (int, float))
+        )
+
+    batch_counts = sum(
+        value["count"]
+        for name, value in snapshot.items()
+        if name.startswith("flow.") and name.endswith(".batch_size")
+        and isinstance(value, dict)
+    )
+    lines.append(
+        "  flow: "
+        f"credits={_flow_sum('.credits')} "
+        f"shed={_flow_sum('.shed')} "
+        f"coalesced={_flow_sum('.coalesced')} "
+        f"batches={int(batch_counts)}"
     )
     anomalies = eco.recorder.anomalies()
     lines.append(

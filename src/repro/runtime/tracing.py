@@ -52,6 +52,9 @@ STAGE_ROUTE = "broker.route"
 STAGE_DWELL = "queue.dwell"
 STAGE_DEP_WAIT = "subscriber.dep_wait"
 STAGE_APPLY = "subscriber.apply"
+#: Group-commit window of the flow-control batched apply: one span per
+#: batched message, covering the whole batch transaction it rode in.
+STAGE_BATCH = "subscriber.batch_apply"
 
 MARK_ENQUEUED = "queue.enqueued"
 MARK_ACKED = "subscriber.ack"
@@ -73,6 +76,7 @@ PIPELINE_STAGES = (
     STAGE_DWELL,
     STAGE_DEP_WAIT,
     STAGE_APPLY,
+    STAGE_BATCH,
     STAGE_AUDIT_DIGEST,
     STAGE_AUDIT_DIFF,
     STAGE_REPAIR_PUBLISH,

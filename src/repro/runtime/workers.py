@@ -107,6 +107,19 @@ class SubscriberWorkerPool:
         self._reg_deadlocked = registry.counter(f"workers.{service.name}.deadlocked")
         self._reg_apply_errors = registry.counter(f"workers.{service.name}.apply_errors")
         self._recorder = getattr(service.ecosystem, "recorder", None)
+        # Flow control: when the ecosystem has batched apply enabled the
+        # workers switch to the pop_many/process_batch loop, sharing one
+        # AIMD batch sizer across the pool.
+        controller = getattr(service.ecosystem, "flow", None)
+        if controller is not None and controller.config.batch_apply:
+            from repro.runtime.flow import BatchSizer
+
+            self._flow = controller
+            self._sizer = BatchSizer(controller.config)
+        else:
+            self._flow = None
+            self._sizer = None
+        self._batches = Counter()
 
     @property
     def deadlocked_messages(self) -> int:
@@ -149,6 +162,9 @@ class SubscriberWorkerPool:
         queue = subscriber.queue
         if queue is None:
             return
+        if self._flow is not None:
+            self._run_batched(subscriber, queue)
+            return
         while not self._stop.is_set():
             try:
                 message = queue.pop(timeout=0.05)
@@ -176,21 +192,7 @@ class SubscriberWorkerPool:
                     if done:
                         queue.ack(message)
                     elif message.delivery_count >= self.max_deliveries:
-                        # Give-up timeout reached (§6.5).
-                        if self.give_up_action == "apply":
-                            subscriber.force_apply(message)
-                        queue.ack(message)
-                        self._deadlocked.increment()
-                        self._reg_deadlocked.increment()
-                        self._record_anomaly(
-                            "worker.deadlock",
-                            uid=message.uid,
-                            app=message.app,
-                            deliveries=message.delivery_count,
-                            action=self.give_up_action,
-                        )
-                        if self.on_deadlock is not None:
-                            self.on_deadlock(self.service)
+                        self._give_up(subscriber, queue, message)
                     else:
                         queue.nack(message)
                 except QueueDecommissioned:
@@ -206,6 +208,83 @@ class SubscriberWorkerPool:
                 with self._idle:
                     self._active -= 1
                     self._idle.notify_all()
+
+    def _run_batched(self, subscriber: Any, queue: Any) -> None:
+        """Flow-control loop: drain up to the AIMD batch size in one
+        lock round-trip, verify/apply via ``process_batch`` (group
+        commit), then feed the outcome — and, periodically, the
+        LagMonitor's link pressure — back into the sizer."""
+        sizer = self._sizer
+        flow = queue.flow
+        monitor = getattr(self.service.ecosystem, "monitor", None)
+        while not self._stop.is_set():
+            try:
+                batch = queue.pop_many(sizer.current, timeout=0.05)
+            except QueueDecommissioned:
+                self._record_anomaly("queue.decommissioned")
+                if self.on_deadlock is not None:
+                    self.on_deadlock(self.service)
+                return
+            if not batch:
+                continue
+            with self._active_lock:
+                self._active += 1
+            try:
+                errors = 0
+                try:
+                    done, retry, errors = subscriber.process_batch(
+                        batch, wait_timeout=self.wait_timeout
+                    )
+                except Exception:
+                    # process_batch contains apply errors itself; this
+                    # guards the verification phase. Nack everything.
+                    done, retry, errors = [], list(batch), 1
+                if errors:
+                    self._apply_errors.increment(errors)
+                    self._reg_apply_errors.increment(errors)
+                try:
+                    for message in done:
+                        queue.ack(message)
+                    for message in retry:
+                        if message.delivery_count >= self.max_deliveries:
+                            self._give_up(subscriber, queue, message)
+                        else:
+                            queue.nack(message)
+                except QueueDecommissioned:
+                    self._record_anomaly("queue.decommissioned")
+                    if self.on_deadlock is not None:
+                        self.on_deadlock(self.service)
+                    return
+                if flow is not None:
+                    flow.batch_size.record(len(batch))
+                sizer.on_batch(
+                    popped=len(batch), applied=len(done), failed=len(retry) + errors
+                )
+                if self._batches.increment() % 32 == 0 and monitor is not None:
+                    sizer.observe_pressure(
+                        monitor.link_pressure(self.service.name)
+                    )
+            finally:
+                with self._idle:
+                    self._active -= 1
+                    self._idle.notify_all()
+
+    def _give_up(self, subscriber: Any, queue: Any, message: Any) -> None:
+        """Give-up timeout reached (§6.5): drop or weak-apply, then ack."""
+        if self.give_up_action == "apply":
+            subscriber.force_apply(message)
+        queue.ack(message)
+        self._deadlocked.increment()
+        self._reg_deadlocked.increment()
+        self._record_anomaly(
+            "worker.deadlock",
+            uid=message.uid,
+            app=message.app,
+            deliveries=message.delivery_count,
+            action=self.give_up_action,
+        )
+        if self.on_deadlock is not None:
+            self.on_deadlock(self.service)
 
     def _record_anomaly(self, kind: str, **data: Any) -> None:
         """Flight-recorder hook: give-ups and decommissions are exactly

@@ -265,19 +265,37 @@ class SubscriberVersionStore:
 
     def apply(self, dependencies: Iterable[str]) -> None:
         """Post-processing increment of every (non-external) dependency."""
-        for dep in dependencies:
-            yield_point("counter.bump", dep=dep)
+        self.apply_counts({dep: 1 for dep in dependencies})
+
+    def apply_counts(
+        self, counts: Dict[str, int], record_only: bool = False
+    ) -> None:
+        """Post-processing bump of each dependency by ``counts[dep]``.
+
+        Coalesced messages carry summed increments, and batched apply
+        bumps per message inside the group-commit transaction —
+        ``record_only=True`` downgrades the interleave events to
+        observe-only because the caller holds the engine mutex there
+        (a suspended scheduler step would deadlock the harness).
+        """
+        emit = observe_point if record_only else yield_point
+        for dep, amount in counts.items():
+            if amount <= 0:
+                continue
+            emit("counter.bump", dep=dep)
             if self._applied is not None:
-                self._applied.increment()
+                self._applied.increment(amount)
             key = self._key(dep)
 
-            def script(store: RedisLike, key: str = key) -> int:
-                ops = (store.hget(key, "ops") or 0) + 1
+            def script(
+                store: RedisLike, key: str = key, amount: int = amount
+            ) -> int:
+                ops = (store.hget(key, "ops") or 0) + amount
                 store.hset(key, "ops", ops)
                 return ops
 
             value = self.kv.eval_on(key, script)
-            yield_point("counter.bumped", dep=dep, value=value)
+            emit("counter.bumped", dep=dep, value=value)
         with self._waiters:
             self._waiters.notify_all()
 

@@ -57,6 +57,17 @@ class TestCLI:
     def test_repair_without_demo_flag(self, capsys):
         assert main(["repair"]) == 1
 
+    def test_flow_demo(self, capsys):
+        assert main(["flow", "--demo", "--writes", "120", "--queue-limit", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "decommissioned=False" in out
+        assert "flow.sub.shed" in out
+        assert "flow.sub.coalesced" in out
+        assert out.rstrip().endswith("replicas converged")
+
+    def test_flow_without_demo_flag(self, capsys):
+        assert main(["flow"]) == 1
+
     def test_watch_once(self, capsys):
         assert main(["watch", "--once", "--writes", "10"]) == 0
         out = capsys.readouterr().out
@@ -84,3 +95,4 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "repair --demo" in out
         assert "watch" in out
+        assert "flow --demo" in out

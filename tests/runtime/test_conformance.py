@@ -112,6 +112,64 @@ class TestModeSweeps:
                 assert result.ok, [str(v) for v in result.violations]
 
 
+class TestFlowSchedules:
+    """Flow control (coalescing + batched apply) under the scheduler:
+    every invariant must hold in all three modes, and only weak-mode
+    publishes may ever be shed."""
+
+    def test_flow_schedules_hold_invariants_in_all_modes(self):
+        coalesced_any = False
+        for mode in ("causal", "global", "weak"):
+            for seed in range(4):
+                result = run_schedule(
+                    ScheduleConfig(mode=mode, seed=seed, flow=True, messages=12)
+                )
+                assert result.ok, [str(v) for v in result.violations]
+                coalesced_any = coalesced_any or result.stats["coalesced"] > 0
+        # The sweep must actually exercise the coalescing path.
+        assert coalesced_any
+
+    def test_flow_schedule_deterministic(self):
+        config = ScheduleConfig(mode="causal", seed=7, flow=True, messages=12)
+        first, second = replay_twice(config)
+        assert first.trace == second.trace
+        assert first.trace
+
+    def test_flow_with_queue_limit_sheds_only_weak(self):
+        result = run_schedule(
+            ScheduleConfig(
+                mode="weak", seed=2, flow=True, messages=14, queue_limit=4
+            )
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_shedding_a_causal_message_is_flagged(self):
+        from repro.runtime.conformance import INV_FLOW
+        from repro.runtime.flow.admission import QueueFlow
+
+        def always_shed(self, message, depth):
+            self.shed.increment()
+            return "shed"
+
+        with mock.patch.object(QueueFlow, "admit", always_shed):
+            result = run_schedule(
+                ScheduleConfig(
+                    mode="causal", seed=1, flow=True, messages=8,
+                    queue_limit=16,
+                )
+            )
+        assert INV_FLOW in invariants(result.violations)
+
+    def test_directed_unsafe_coalesce_scenario_is_clean(self):
+        from repro.runtime.conformance.scenarios import (
+            flow_coalesce_safety_scenario,
+            run_directed_scenarios,
+        )
+
+        assert flow_coalesce_safety_scenario() == []
+        assert "flow.unsafe-coalesce-rejected" in run_directed_scenarios()
+
+
 class TestGateRaceSchedule:
     """Generation gate vs in-flight deliveries (fix: ``peek_unacked``)."""
 

@@ -12,9 +12,13 @@ from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.monitor import mangle, parse_prometheus, to_json, to_prometheus
 
 
-def run_workload():
+def run_workload(flow=False):
     eco = Ecosystem()
     eco.enable_tracing()
+    if flow:
+        from repro.runtime.flow import FlowConfig
+
+        eco.enable_flow(FlowConfig(capacity=64))
     pub = eco.service("pub", database=MongoLike("p"))
 
     @pub.model(publish=["name"], name="User")
@@ -93,6 +97,29 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             parse_prometheus("!!! not exposition\n")
 
+    def test_gauges_round_trip_with_type_header(self):
+        registry = MetricsRegistry()
+        registry.gauge("flow.sub.credits").set(37)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_flow_sub_credits gauge" in text
+        assert parse_prometheus(text)["repro_flow_sub_credits"] == 37
+
+    def test_flow_instruments_survive_exposition(self):
+        """The ``flow.*`` family — counters, the batch-size histogram
+        and the credits gauge — must round-trip like every other
+        pipeline instrument."""
+        eco = run_workload(flow=True)
+        snapshot = eco.metrics.snapshot(prefix="flow.")
+        assert "flow.sub.credits" in snapshot
+        assert snapshot["flow.sub.admitted"] >= 5
+        parsed = parse_prometheus(to_prometheus(eco.metrics))
+        for name, value in snapshot.items():
+            exported = parsed[mangle(name)]
+            if isinstance(value, dict):
+                assert exported["count"] == value["count"]
+            else:
+                assert exported == value
+
 
 class TestJsonExposition:
     def test_document_carries_metrics_exemplars_and_health(self):
@@ -110,3 +137,12 @@ class TestJsonExposition:
         payload = json.loads(to_json(registry))
         assert payload["metrics"]["x"] == 1
         assert "health" not in payload
+
+    def test_flow_metrics_and_backpressure_in_json(self):
+        eco = run_workload(flow=True)
+        payload = json.loads(to_json(eco.metrics, monitor=eco.monitor))
+        assert payload["metrics"]["flow.sub.admitted"] >= 5
+        assert "flow.sub.credits" in payload["metrics"]
+        link = payload["health"]["links"][0]
+        assert link["backpressure"] == "open"
+        assert link["credits"] == eco.broker.queue_for("sub").flow.credits

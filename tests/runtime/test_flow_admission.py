@@ -1,0 +1,210 @@
+"""Credit-based admission: watermarks, hysteresis, shed-weak-only, and
+the graduated ladder ahead of the §4.4 kill cliff."""
+
+from repro.broker import Message, SubscriberQueue
+from repro.runtime.flow import FlowConfig, FlowController
+from repro.runtime.flow.admission import (
+    ADMIT,
+    SHED,
+    STATE_OPEN,
+    STATE_SHEDDING,
+    STATE_THROTTLED,
+    QueueFlow,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+class StubRecorder:
+    def __init__(self):
+        self.anomalies = []
+        self.events = []
+
+    def anomaly(self, kind, **data):
+        self.anomalies.append((kind, data))
+
+    def record_event(self, kind, **data):
+        self.events.append((kind, data))
+
+
+def make_message(op_id=1, app="pub"):
+    return Message(
+        app=app,
+        operations=[{"operation": "create", "types": ["User"], "id": op_id,
+                     "attributes": {"name": "x"}}],
+        dependencies={},
+        published_at=0.0,
+    )
+
+
+def make_flow(capacity=10, modes=None, recorder=None, **config_kwargs):
+    registry = MetricsRegistry()
+    modes = modes or {"pub": "weak"}
+    flow = QueueFlow(
+        "q", capacity, FlowConfig(**config_kwargs), registry,
+        mode_of=modes.get, recorder=recorder,
+    )
+    return flow, registry
+
+
+class TestCredits:
+    def test_watermarks_and_initial_credits(self):
+        flow, _ = make_flow(capacity=10)  # defaults: hw 0.75, lw 0.5
+        assert flow.high == 7 and flow.low == 5
+        assert flow.credits == 7 and flow.state == STATE_OPEN
+
+    def test_admission_consumes_one_credit_per_message(self):
+        # Depth above the low watermark: no refill, credits just drain.
+        flow, registry = make_flow(capacity=10)
+        for _ in range(3):
+            assert flow.admit(make_message(), flow.low + 1) == ADMIT
+        assert flow.credits == 4
+        assert registry.value("flow.q.admitted") == 3
+        assert registry.gauge("flow.q.credits").value == 4
+
+    def test_low_depth_admission_keeps_credits_topped_up(self):
+        # At or below the low watermark every admit refills first, so a
+        # healthy queue never drifts toward the shedding zone.
+        flow, _ = make_flow(capacity=10)
+        for _ in range(50):
+            assert flow.admit(make_message(), flow.low) == ADMIT
+        assert flow.credits == flow.high - 1
+
+    def test_depth_at_high_watermark_sheds_even_with_credits(self):
+        """The guard that keeps shedding ahead of the kill: credits in
+        hand do not admit past the high watermark."""
+        flow, registry = make_flow(capacity=10)
+        assert flow.credits > 0
+        assert flow.admit(make_message(), flow.high) == SHED
+        assert flow.state == STATE_SHEDDING
+        assert registry.value("flow.q.shed") == 1
+
+    def _exhaust(self, flow):
+        for _ in range(flow.credits):
+            flow.admit(make_message(), flow.low + 1)
+
+    def test_exhausted_credits_shed_weak(self):
+        flow, registry = make_flow(capacity=10)
+        self._exhaust(flow)
+        assert flow.credits == 0
+        assert flow.admit(make_message(), flow.low + 1) == SHED
+        assert registry.value("flow.q.shed") == 1
+
+    def test_refill_hysteresis_below_low_watermark(self):
+        flow, _ = make_flow(capacity=10)
+        self._exhaust(flow)
+        flow.admit(make_message(), flow.low + 1)  # shed: state leaves open
+        assert flow.state == STATE_SHEDDING
+        # Draining to just above low does NOT refill (hysteresis)...
+        assert flow.admit(make_message(), flow.low + 1) == SHED
+        # ...but at/below low the credits refill and admission reopens.
+        assert flow.admit(make_message(), flow.low) == ADMIT
+        assert flow.state == STATE_OPEN
+        assert flow.credits == flow.high - 1
+
+    def test_reset_restores_open_state(self):
+        flow, _ = make_flow(capacity=10)
+        for depth in range(flow.high + 2):
+            flow.admit(make_message(), depth)
+        assert flow.state == STATE_SHEDDING
+        flow.reset()
+        assert flow.credits == flow.high and flow.state == STATE_OPEN
+
+    def test_capacity_none_disables_admission(self):
+        flow, registry = make_flow(capacity=None)
+        for depth in range(1000):
+            assert flow.admit(make_message(), depth) == ADMIT
+        assert registry.value("flow.q.shed") == 0
+        assert flow.publish_delay() == 0.0
+
+
+class TestModes:
+    def test_causal_and_global_are_throttled_never_shed(self):
+        for mode in ("causal", "global"):
+            flow, registry = make_flow(capacity=10, modes={"pub": mode})
+            for depth in range(flow.high):
+                flow.admit(make_message(), depth)
+            assert flow.admit(make_message(), flow.high) == ADMIT
+            assert flow.state == STATE_THROTTLED
+            assert registry.value("flow.q.throttled") == 1
+            assert registry.value("flow.q.shed") == 0
+
+    def test_unknown_publisher_defaults_to_weak(self):
+        flow, _ = make_flow(capacity=10, modes={})
+        assert flow.admit(make_message(app="ghost"), flow.high) == SHED
+
+    def test_shed_weak_false_throttles_instead(self):
+        flow, registry = make_flow(capacity=10, shed_weak=False)
+        assert flow.admit(make_message(), flow.high) == ADMIT
+        assert flow.state == STATE_THROTTLED
+        assert registry.value("flow.q.shed") == 0
+
+
+class TestRecorderAndDelay:
+    def _exhaust(self, flow):
+        for _ in range(flow.credits):
+            flow.admit(make_message(), flow.low + 1)
+
+    def test_shedding_anomaly_and_recovery_event(self):
+        recorder = StubRecorder()
+        flow, _ = make_flow(capacity=10, recorder=recorder)
+        self._exhaust(flow)
+        flow.admit(make_message(), flow.low + 1)  # shed
+        assert [kind for kind, _ in recorder.anomalies] == ["flow.shedding"]
+        flow.admit(make_message(), flow.low)  # refill: recovered
+        assert [kind for kind, _ in recorder.events] == ["flow.recovered"]
+
+    def test_publish_delay_ramps_with_credit_exhaustion(self):
+        flow, _ = make_flow(capacity=10, throttle_delay=0.1)
+        assert flow.publish_delay() == 0.0  # full credits
+        self._exhaust(flow)
+        assert flow.credits == 0
+        assert flow.publish_delay() == 0.1  # fully exhausted: full stall
+        assert flow.publish_delay() <= flow.config.throttle_delay
+
+    def test_zero_throttle_delay_never_stalls(self):
+        flow, _ = make_flow(capacity=10)
+        self._exhaust(flow)
+        assert flow.publish_delay() == 0.0
+
+
+class TestQueueIntegration:
+    def _flowed_queue(self, modes, max_size=10):
+        controller = FlowController(
+            FlowConfig(), MetricsRegistry(), mode_of=modes.get
+        )
+        queue = SubscriberQueue("q", max_size=max_size)
+        queue.flow = controller.for_queue(queue)
+        return queue, controller
+
+    def test_for_queue_caches_and_uses_max_size(self):
+        queue, controller = self._flowed_queue({"pub": "weak"})
+        assert controller.for_queue(queue) is queue.flow
+        assert queue.flow.capacity == 10
+        assert "q" in controller.queues()
+
+    def test_weak_flood_sheds_instead_of_killing(self):
+        """The tentpole behavior: a weak flood stabilises at the high
+        watermark and the §4.4 kill never fires."""
+        queue, controller = self._flowed_queue({"pub": "weak"})
+        for i in range(100):
+            queue.publish(make_message(op_id=i))
+        assert not queue.decommissioned
+        assert len(queue) == queue.flow.high
+        assert controller.metrics.value("flow.q.shed") == 100 - queue.flow.high
+
+    def test_causal_flood_still_hits_the_kill_cliff(self):
+        """Stronger modes are never shed, so the kill remains the last
+        resort exactly as before."""
+        queue, _ = self._flowed_queue({"pub": "causal"})
+        for i in range(100):
+            queue.publish(make_message(op_id=i))
+        assert queue.decommissioned
+
+    def test_config_capacity_overrides_queue_max_size(self):
+        controller = FlowController(
+            FlowConfig(capacity=20), MetricsRegistry(),
+            mode_of={"pub": "weak"}.get,
+        )
+        queue = SubscriberQueue("q", max_size=50)
+        queue.flow = controller.for_queue(queue)
+        assert queue.flow.capacity == 20

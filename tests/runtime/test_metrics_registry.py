@@ -1,10 +1,10 @@
-"""MetricsRegistry, Counter and the cached-percentile Histogram."""
+"""MetricsRegistry, Counter, Gauge and the cached-percentile Histogram."""
 
 import threading
 
 import pytest
 
-from repro.runtime.metrics import Counter, Histogram, MetricsRegistry
+from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.runtime.tracing import Trace, activate_trace
 
 
@@ -33,11 +33,39 @@ class TestCounter:
         assert counter.value == 8000
 
 
+class TestGauge:
+    def test_set_add_and_reset(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(48)
+        assert gauge.value == 48
+        gauge.add(-3)
+        gauge.add()
+        assert gauge.value == 46
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_concurrent_adds_are_not_lost(self):
+        gauge = Gauge()
+
+        def hammer():
+            for _ in range(1000):
+                gauge.add(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value == 8000.0
+
+
 class TestRegistry:
     def test_same_name_returns_same_instrument(self):
         registry = MetricsRegistry()
         assert registry.counter("a.b") is registry.counter("a.b")
         assert registry.histogram("a.h") is registry.histogram("a.h")
+        assert registry.gauge("a.g") is registry.gauge("a.g")
 
     def test_type_collision_raises(self):
         registry = MetricsRegistry()
@@ -47,6 +75,23 @@ class TestRegistry:
         registry.histogram("y")
         with pytest.raises(ValueError):
             registry.counter("y")
+        registry.gauge("z")
+        with pytest.raises(ValueError):
+            registry.counter("z")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_includes_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("flow.sub.credits").set(37)
+        snap = registry.snapshot(prefix="flow.")
+        assert snap["flow.sub.credits"] == 37
+
+    def test_reset_clears_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5)
+        registry.reset()
+        assert registry.gauge("g").value == 0.0
 
     def test_snapshot_merges_counters_and_histograms(self):
         registry = MetricsRegistry()
