@@ -78,6 +78,9 @@ class SynapseSubscriber:
         #: Objects healed by anti-entropy repair messages (targeted
         #: repair instead of a full re-bootstrap).
         self._repaired = registry.counter(f"repair.{service.name}.applied_objects")
+        #: Rollback-recovery redo writes that failed a second time; the
+        #: divergence they leave behind is anti-entropy's to heal.
+        self._redo_failed = registry.counter(f"subscriber.{service.name}.redo_failed")
         #: Time applied messages spent blocked on dependency counters.
         self.dep_wait = registry.histogram(f"subscriber.{service.name}.dep_wait")
         #: Time spent applying operations through the local ORM.
@@ -512,10 +515,21 @@ class SynapseSubscriber:
                 ceiling = version + batch_bumps.get(
                     hashed, increments.get(hashed, 1)
                 )
-                with self._object_lock(hashed):
-                    if self.service.subscriber_version_store.ops(hashed) > ceiling:
-                        continue
-                    self._apply_operation(message.app, operation)
+                try:
+                    with self._object_lock(hashed):
+                        if self.service.subscriber_version_store.ops(hashed) > ceiling:
+                            continue
+                        self._apply_operation(message.app, operation)
+                except Exception:
+                    # A redo that fails again must not abandon the
+                    # remaining redos, and above all must not escape to
+                    # the worker loop: every completed message is
+                    # already _finish'ed (deduped, counters bumped), so
+                    # a batch-wide nack would have its redelivery
+                    # dedup-skip while the rolled-back engine write —
+                    # and every redo after this one — is silently lost.
+                    # Count it and let anti-entropy repair the object.
+                    self._redo_failed.increment()
 
     def _apply_timed(self, message: Message, record_only: bool = False) -> None:
         """Apply all operations, feeding the apply histogram/span.

@@ -62,6 +62,9 @@ class LagReport:
     decommissioned: bool = False
     #: Sum of per-dependency version-counter deficits vs the publisher.
     version_lag: int = 0
+    #: Deficit attributable to deliberate flow-control shedding,
+    #: already excluded from ``version_lag`` (backpressure, not loss).
+    shed_deficit: int = 0
 
     @property
     def in_transit(self) -> int:
@@ -107,10 +110,13 @@ class AuditReport:
             state = "DECOMMISSIONED" if report.decommissioned else (
                 "in transit" if report.in_transit else "idle"
             )
-            lines.append(
+            line = (
                 f"  {app}: queued={report.queued} in_flight={report.in_flight} "
-                f"version_lag={report.version_lag} [{state}]"
+                f"version_lag={report.version_lag}"
             )
+            if report.shed_deficit:
+                line += f" shed_deficit={report.shed_deficit}"
+            lines.append(line + f" [{state}]")
         for audit in self.models:
             status = "in sync" if audit.in_sync else (
                 f"DIVERGED ids={sorted(audit.divergent_ids, key=repr)}"
@@ -224,8 +230,20 @@ class ReplicationAuditor:
             report.decommissioned = bool(stats["decommissioned"])
         publisher_service = service.ecosystem.services.get(app)
         if publisher_service is not None:
-            report.version_lag = service.subscriber_version_store.lag_behind(
+            deficits = service.subscriber_version_store.deficits(
                 publisher_service.publisher_version_store.snapshot()
+            )
+            # Deliberate flow-control sheds are backpressure, not loss:
+            # reconcile the queue's shed ledger (trimmed to what is
+            # still unhealed) and keep it out of the loss signal.
+            forgiven: Dict[str, int] = {}
+            queue = service.subscriber.queue
+            if queue is not None and queue.flow is not None:
+                forgiven = queue.flow.reconcile_shed(app, deficits)
+            report.shed_deficit = sum(forgiven.values())
+            report.version_lag = sum(
+                max(0, behind - forgiven.get(dep, 0))
+                for dep, behind in deficits.items()
             )
         return report
 

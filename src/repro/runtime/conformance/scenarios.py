@@ -16,8 +16,10 @@ reports checker violations under the same stable invariant names:
   queue decommissioned mid-``drain`` must get its already-popped
   pending messages back (tolerated nacks), not leak them.
 - :func:`flow_coalesce_safety_scenario` (``flow.admission-safety``):
-  adjacent causal writes coalesce, but merging past an intervener
-  whose dependencies overlap the survivor's keys is rejected.
+  adjacent causal writes coalesce, but merging past an intervener is
+  rejected in *both* hazard directions — an intervener that depends on
+  a key the survivor increments, and an absorbed write that depends on
+  a key an intervener increments.
 
 The module also pins the *committed schedules* for the two interleaving
 races (generation gate vs in-flight deliveries; ack after
@@ -316,12 +318,15 @@ def flow_coalesce_safety_scenario() -> List[Violation]:
     """Causal-mode coalescing safety, both directions.
 
     Adjacent same-object writes must merge (create+update, then the
-    trailing update pair), but merging *past an intervener* whose
-    dependencies overlap the survivor's keys must be rejected: the
-    intervener waits on counter bumps the survivor carries, and the
-    conservative union check refuses any overlap. The scenario then
-    drains and asserts the coalesced stream converges to the final
-    payload with nothing left queued."""
+    trailing update pair), but merging *past an intervener* must be
+    rejected in both hazard directions: an intervener whose
+    dependencies overlap the survivor's keys (it would wait on counter
+    bumps the merge moves behind it), and an absorbed write that
+    depends on a key the intervener increments (merged to the
+    survivor's earlier position, it would wait on a bump queued behind
+    itself). The conservative union check refuses any overlap. After
+    each phase the scenario drains and asserts the coalesced stream
+    converges to the final payload with nothing left queued."""
     from repro.core import Ecosystem
     from repro.databases.document import MongoLike
     from repro.databases.relational import PostgresLike
@@ -409,6 +414,46 @@ def flow_coalesce_safety_scenario() -> List[Violation]:
                 INV_FLOW,
                 f"coalesced stream did not converge: queued={len(queue)}, "
                 f"replicated value={final!r} (expected 3)",
+            )
+        )
+
+    # Reverse hazard direction: this time the *absorbed* write depends
+    # on a key the intervener increments. The queued survivor writes
+    # the target; the intervener creates an unrelated object; the
+    # absorbed write reads that object, so its message requires the
+    # intervener's counter bump. Merging it into the survivor would
+    # park that wait at the survivor's earlier position — ahead of the
+    # very bump (carried by the intervener) that satisfies it.
+    rejected_before = eco.metrics.value("flow.sub.coalesce_rejected")
+    with pub.controller():
+        target.value = 4
+        target.save()
+    with pub.controller():
+        other = PubDoc.create(name="other", value=0)
+    with pub.controller() as ctx:
+        ctx.add_read_deps(other)
+        target.value = 5
+        target.save()  # must NOT merge ahead of the "other" create
+    rejected = eco.metrics.value("flow.sub.coalesce_rejected")
+    if rejected != rejected_before + 1 or len(queue) != 3:
+        violations.append(
+            Violation(
+                INV_FLOW,
+                "unsafe reverse-direction causal coalesce was not rejected: "
+                "the absorbed write depends on a key the intervener bumps "
+                f"(rejected={rejected - rejected_before}, queued={len(queue)})",
+            )
+        )
+
+    sub.subscriber.drain()
+    row = SubDoc.__mapper__.find(target.id)
+    final = row["value"] if row is not None else None
+    if len(queue) or final != 5:
+        violations.append(
+            Violation(
+                INV_FLOW,
+                "reverse-direction stream did not converge: "
+                f"queued={len(queue)}, replicated value={final!r} (expected 5)",
             )
         )
     return violations

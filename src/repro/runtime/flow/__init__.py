@@ -29,6 +29,7 @@ from repro.runtime.flow.coalesce import (
     coalesce_key,
     counter_increments,
     merge_into,
+    raised_waits,
     union_conflicts,
 )
 from repro.runtime.flow.config import FlowConfig
@@ -46,5 +47,6 @@ __all__ = [
     "coalesce_key",
     "counter_increments",
     "merge_into",
+    "raised_waits",
     "union_conflicts",
 ]

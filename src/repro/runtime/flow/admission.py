@@ -8,10 +8,21 @@ zone in front of that cliff:
   admitted publish; they refill whenever the queue drains below the
   **low watermark** (hysteresis, so the boundary does not flap).
 - With credits exhausted the queue is *throttled*: publishes in weak
-  mode are **shed** (safe — weak subscribers tolerate fresh-or-discard
-  gaps and shed messages carry no counter obligations), stronger modes
-  are always admitted but counted, and the broker may stall the
-  publisher for ``throttle_delay`` seconds.
+  mode are **shed** (safe for the data — weak subscribers tolerate
+  fresh-or-discard gaps), stronger modes are always admitted but
+  counted, and the broker may stall the publisher for
+  ``throttle_delay`` seconds. Bootstrap and repair messages are never
+  shed (mirroring their ``coalesce_key`` exclusion): shedding repair
+  traffic would starve the very anti-entropy loop that heals
+  shed-induced divergence, and a shed bootstrap message would leave an
+  object unreplicated rather than merely stale.
+- The publisher bumped its version store before the shed, so every
+  shed message leaves a subscriber-side counter deficit until a later
+  same-object write fast-forwards past it or anti-entropy repairs it.
+  ``QueueFlow`` keeps a per-publisher ledger of those deliberate
+  deficits; the lag audits reconcile against it (see
+  :meth:`QueueFlow.reconcile_shed`) so intentional shedding is not
+  reported as the §6.5 loss signature.
 - The kill cliff itself is untouched: if pressure still reaches
   ``max_size`` the queue decommissions exactly as before, as the last
   resort.
@@ -24,6 +35,7 @@ the lock, based on the verdicts returned here).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 from repro.broker.message import Message
@@ -31,6 +43,7 @@ from repro.core.delivery import WEAK
 from repro.runtime.flow.coalesce import (
     coalesce_key,
     merge_into,
+    raised_waits,
     union_conflicts,
 )
 from repro.runtime.flow.config import FlowConfig
@@ -75,6 +88,12 @@ class QueueFlow:
         #: redeliveries are never re-indexed (their queue position no
         #: longer reflects publish order).
         self._index: Dict[tuple, Message] = {}
+        #: publisher app -> hashed dep -> counter bumps the publisher
+        #: recorded for writes this queue deliberately shed. Guarded by
+        #: its own lock (unlike the rest of the flow state, it is also
+        #: written from the audit threads via :meth:`reconcile_shed`).
+        self._shed_deficits: Dict[str, Dict[str, int]] = {}
+        self._shed_lock = threading.Lock()
         prefix = f"flow.{queue_name}"
         self.admitted = metrics.counter(f"{prefix}.admitted")
         self.shed = metrics.counter(f"{prefix}.shed")
@@ -102,16 +121,64 @@ class QueueFlow:
             return ADMIT
         # Credits exhausted (or depth already past the high watermark):
         # the graduated zone between the high watermark and the kill
-        # cliff.
+        # cliff. Bootstrap/repair traffic is exempt from shedding — it
+        # is the recovery path for earlier sheds.
         mode = self._mode_of(message.app) or WEAK
-        if mode == WEAK and self.config.shed_weak:
+        if (
+            mode == WEAK
+            and self.config.shed_weak
+            and not message.bootstrap
+            and not message.repair
+        ):
             self._set_state(STATE_SHEDDING)
             self.shed.increment()
+            self._record_shed(message)
             return SHED
         self._set_state(STATE_THROTTLED)
         self.throttled.increment()
         self.admitted.increment()
         return ADMIT
+
+    def _record_shed(self, message: Message) -> None:
+        """Remember the counter bumps a shed message would have carried:
+        the publisher already bumped its version store at publish time,
+        so until repair (or a later same-object write) fast-forwards
+        past them, the subscriber shows a deficit that is deliberate,
+        not §6.5 loss."""
+        with self._shed_lock:
+            ledger = self._shed_deficits.setdefault(message.app, {})
+            for dep, amount in message.counter_increments().items():
+                ledger[dep] = ledger.get(dep, 0) + amount
+
+    def reconcile_shed(
+        self, app: str, deficits: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Reconcile the shed ledger for ``app`` against the counter
+        deficits a lag audit actually observed, and return the portion
+        the audit should forgive.
+
+        Per key the ledger is trimmed down to the observed deficit —
+        anti-entropy repair, a later write fast-forwarding the object,
+        or a re-bootstrap may have healed the key since the shed — so a
+        healed entry can never linger and mask a genuinely lost later
+        message. What remains is exactly the deliberate, still-unhealed
+        shed debt, which the audit subtracts from its loss signal.
+        """
+        with self._shed_lock:
+            ledger = self._shed_deficits.get(app)
+            if not ledger:
+                return {}
+            forgiven: Dict[str, int] = {}
+            for dep in list(ledger):
+                remaining = min(ledger[dep], deficits.get(dep, 0))
+                if remaining <= 0:
+                    del ledger[dep]
+                else:
+                    ledger[dep] = remaining
+                    forgiven[dep] = remaining
+            if not ledger:
+                del self._shed_deficits[app]
+            return forgiven
 
     def publish_delay(self) -> float:
         """How long the broker should stall a publish right now —
@@ -171,7 +238,10 @@ class QueueFlow:
     def _union_safe(self, candidate, message, items, unacked) -> bool:
         """Causal/global safety: no message between the candidate and
         the tail (and nothing in flight) may depend on a key the
-        candidate increments — see ``union_conflicts``."""
+        candidate increments, or increment a key the absorbed write
+        would newly wait on from the candidate's earlier position —
+        see ``union_conflicts`` for both directions."""
+        raised = raised_waits(candidate, message)
         scanned = 0
         found = False
         for queued in reversed(items):
@@ -181,12 +251,12 @@ class QueueFlow:
             scanned += 1
             if scanned > self.config.coalesce_window:
                 return False
-            if union_conflicts(candidate, queued):
+            if union_conflicts(candidate, queued, raised):
                 return False
         if not found:
             return False
         for in_flight in unacked.values():
-            if union_conflicts(candidate, in_flight):
+            if union_conflicts(candidate, in_flight, raised):
                 return False
         return True
 
@@ -208,11 +278,15 @@ class QueueFlow:
             del self._index[key]
 
     def reset(self) -> None:
-        """Queue cleared (kill or recommission): fresh flow state."""
+        """Queue cleared (kill or recommission): fresh flow state. The
+        shed ledger clears too — the re-bootstrap that follows fast-
+        forwards every counter past the shed debt."""
         self._index.clear()
         self.credits = self.high
         self.credits_gauge.set(self.credits)
         self.state = STATE_OPEN
+        with self._shed_lock:
+            self._shed_deficits.clear()
 
 
 class FlowController:

@@ -14,11 +14,14 @@ one message where the delivery mode allows it:
   the survivor had applied), and the *sum* of the constituents' counter
   increments (so downstream messages that counted on both bumps still
   become satisfiable). The
-  one structural hazard is a dependency cycle: if any message queued
-  *between* the two candidates (or in flight) depends on a key the
-  earlier candidate increments, merging would make that intervener wait
-  on a bump that now sits behind the intervener itself. Such merges are
-  rejected; an adjacent pair with no conflicting intervener is safe.
+  structural hazard is a dependency cycle through a message queued
+  *between* the two candidates (or in flight), in either direction:
+  an intervener that depends on a key the earlier candidate increments
+  would wait on a bump that now sits behind the intervener itself, and
+  an absorbed (newer) write that depends on a key an intervener
+  increments would — merged to the survivor's *earlier* position —
+  wait on a bump queued behind itself. Such merges are rejected; an
+  adjacent pair with no conflicting intervener is safe.
 
 The survivor is always the *earlier* message: it keeps its uid,
 position, and ``published_at`` (so lag measurements stay honest), and
@@ -106,12 +109,46 @@ def merge_into(survivor: Message, absorbed: Message) -> None:
         survivor.trace = absorbed.trace
 
 
-def union_conflicts(survivor: Message, intervener: Message) -> bool:
+def raised_waits(survivor: Message, absorbed: Message) -> set:
+    """Dependency keys on which a merge would wait *harder* than the
+    survivor already does at its queue position.
+
+    Per key, the absorbed write's requirement is discounted by the
+    survivor's own increments — exactly as :func:`merge_into` will
+    record it — and kept only where it exceeds the survivor's current
+    requirement. Those are the waits the merge would move from the
+    absorbed message's tail position up to the survivor's earlier one;
+    if the bump satisfying such a wait is carried by a message queued
+    in between, the merged survivor deadlocks behind itself.
+    """
+    surv_incr = counter_increments(survivor)
+    waits = set()
+    for dep, version in absorbed.dependencies.items():
+        if version - surv_incr.get(dep, 0) > survivor.dependencies.get(dep, -1):
+            waits.add(dep)
+    for dep, version in absorbed.external_dependencies.items():
+        if version > survivor.external_dependencies.get(dep, -1):
+            waits.add(dep)
+    return waits
+
+
+def union_conflicts(
+    survivor: Message, intervener: Message, raised: frozenset = frozenset()
+) -> bool:
     """Would coalescing past ``intervener`` break the dependency union?
 
-    The merged message's counter bumps land only when *it* applies; an
-    intervener that waits on any key the survivor increments would then
-    wait on a bump queued behind itself — a cycle. Conservative: any
-    key overlap rejects the merge.
+    Two directed cycles, either of which rejects the merge:
+
+    - the merged message's counter bumps land only when *it* applies,
+      so an intervener that waits on any key the survivor increments
+      would wait on a bump queued behind itself;
+    - the absorbed write's newly raised waits (``raised``, see
+      :func:`raised_waits`) move up to the survivor's earlier position,
+      so an intervener that *increments* any of those keys would carry
+      a bump the merged survivor waits on from ahead of it.
+
+    Conservative: any key overlap rejects the merge.
     """
-    return bool(set(survivor.dependencies) & dep_keys(intervener))
+    if set(survivor.dependencies) & dep_keys(intervener):
+        return True
+    return bool(raised and raised & set(counter_increments(intervener)))

@@ -115,6 +115,9 @@ class LinkHealth:
     in_flight: int = 0
     oldest_in_transit: float = 0.0
     version_lag: int = 0
+    #: Counter deficit attributable to deliberate flow-control shedding
+    #: (already excluded from ``version_lag``).
+    shed_deficit: int = 0
     status: str = STATUS_NO_DATA
     #: Which signals fired: "p99_lag", "burn_rate", "stalled".
     reasons: List[str] = field(default_factory=list)
@@ -143,6 +146,7 @@ class LinkHealth:
             "in_flight": self.in_flight,
             "oldest_in_transit": self.oldest_in_transit,
             "version_lag": self.version_lag,
+            "shed_deficit": self.shed_deficit,
             "backpressure": self.backpressure,
             "credits": self.credits,
             "slo": {
@@ -163,6 +167,8 @@ class LinkHealth:
             f"burn={self.burn_rate:.2f} queued={self.queued} "
             f"in_flight={self.in_flight} vlag={self.version_lag}"
         )
+        if self.shed_deficit:
+            line += f" shed={self.shed_deficit}"
         if self.backpressure:
             line += f" bp={self.backpressure}/{self.credits}"
         return line + f" [{tag}]"
@@ -357,8 +363,20 @@ class LagMonitor:
                 entry.oldest_in_transit = oldest
             publisher_service = self.ecosystem.services.get(publisher)
             if publisher_service is not None:
-                entry.version_lag = service.subscriber_version_store.lag_behind(
+                deficits = service.subscriber_version_store.deficits(
                     publisher_service.publisher_version_store.snapshot()
+                )
+                # Deficits from deliberate shedding are backpressure,
+                # not the §6.5 loss signature: reconcile the flow
+                # ledger (trimming what repair has healed since) and
+                # report the remainder separately.
+                forgiven: Dict[str, int] = {}
+                if queue is not None and queue.flow is not None:
+                    forgiven = queue.flow.reconcile_shed(publisher, deficits)
+                entry.shed_deficit = sum(forgiven.values())
+                entry.version_lag = sum(
+                    max(0, behind - forgiven.get(dep, 0))
+                    for dep, behind in deficits.items()
                 )
 
         if entry.oldest_in_transit > slo.stall_after:

@@ -26,13 +26,14 @@ class StubRecorder:
         self.events.append((kind, data))
 
 
-def make_message(op_id=1, app="pub"):
+def make_message(op_id=1, app="pub", deps=None, **kwargs):
     return Message(
         app=app,
         operations=[{"operation": "create", "types": ["User"], "id": op_id,
                      "attributes": {"name": "x"}}],
-        dependencies={},
+        dependencies=dict(deps or {}),
         published_at=0.0,
+        **kwargs,
     )
 
 
@@ -138,6 +139,56 @@ class TestModes:
         assert flow.state == STATE_THROTTLED
         assert registry.value("flow.q.shed") == 0
 
+    def test_repair_and_bootstrap_are_never_shed(self):
+        """Shedding the recovery traffic would defeat it: repair heals
+        shed-induced deficits, and a shed bootstrap message would leave
+        an object unreplicated rather than merely stale."""
+        flow, registry = make_flow(capacity=10)
+        assert flow.admit(make_message(repair=True), flow.high) == ADMIT
+        assert flow.admit(make_message(bootstrap=True), flow.high) == ADMIT
+        assert registry.value("flow.q.shed") == 0
+        assert registry.value("flow.q.throttled") == 2
+        assert flow.state == STATE_THROTTLED
+        # Plain weak traffic at the same depth still sheds.
+        assert flow.admit(make_message(), flow.high) == SHED
+
+
+class TestShedDeficitLedger:
+    """Shedding leaves a deliberate subscriber-side counter deficit
+    (the publisher bumped its store at publish time); the ledger lets
+    lag audits forgive exactly that, and no more."""
+
+    def test_shed_records_the_messages_counter_bumps(self):
+        flow, _ = make_flow(capacity=10)
+        assert flow.admit(make_message(deps={"h1": 3}), flow.high) == SHED
+        assert flow.reconcile_shed("pub", {"h1": 5}) == {"h1": 1}
+
+    def test_reconcile_trims_to_the_observed_deficit(self):
+        flow, _ = make_flow(capacity=10)
+        for version in (3, 4, 5):
+            flow.admit(make_message(deps={"h1": version}), flow.high)
+        # Only 2 of the 3 shed bumps are still unhealed: forgive 2.
+        assert flow.reconcile_shed("pub", {"h1": 2}) == {"h1": 2}
+        # Repair healed the key entirely: the entry drops out and can
+        # never mask a genuinely lost later message.
+        assert flow.reconcile_shed("pub", {}) == {}
+        assert flow.reconcile_shed("pub", {"h1": 9}) == {}
+
+    def test_admitted_messages_leave_no_deficit(self):
+        flow, _ = make_flow(capacity=10)
+        assert flow.admit(make_message(deps={"h1": 1}), 0) == ADMIT
+        assert flow.reconcile_shed("pub", {"h1": 5}) == {}
+
+    def test_unknown_app_reconciles_empty(self):
+        flow, _ = make_flow(capacity=10)
+        assert flow.reconcile_shed("ghost", {"h1": 1}) == {}
+
+    def test_reset_clears_the_ledger(self):
+        flow, _ = make_flow(capacity=10)
+        flow.admit(make_message(deps={"h1": 1}), flow.high)
+        flow.reset()
+        assert flow.reconcile_shed("pub", {"h1": 5}) == {}
+
 
 class TestRecorderAndDelay:
     def _exhaust(self, flow):
@@ -208,3 +259,65 @@ class TestQueueIntegration:
         queue = SubscriberQueue("q", max_size=50)
         queue.flow = controller.for_queue(queue)
         assert queue.flow.capacity == 20
+
+
+class TestShedDeficitAudits:
+    """End to end: deliberate shedding must not read as the §6.5 loss
+    signature in the lag audits, while the divergence it causes stays
+    visible and repairable."""
+
+    def _ecosystem(self):
+        from repro.core import Ecosystem
+        from repro.databases.document import MongoLike
+        from repro.databases.relational import PostgresLike
+        from repro.orm import Field, Model
+
+        eco = Ecosystem()
+        eco.enable_flow(FlowConfig(capacity=6))
+        pub = eco.service(
+            "pub", database=MongoLike("pub-db"), delivery_mode="weak"
+        )
+
+        @pub.model(publish=["name"], name="Item")
+        class Item(Model):
+            name = Field(str)
+
+        sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+        @sub.model(
+            subscribe={"from": "pub", "fields": ["name"], "mode": "weak"},
+            name="Item",
+        )
+        class SubItem(Model):
+            name = Field(str)
+
+        return eco, pub, sub, Item, SubItem
+
+    def test_shed_deficit_is_forgiven_and_repair_heals_it(self):
+        eco, pub, sub, Item, SubItem = self._ecosystem()
+        with pub.controller():
+            for i in range(12):
+                Item.create(name=f"i{i}")
+        assert eco.metrics.value("flow.sub.shed") > 0
+        sub.subscriber.drain()
+
+        report = sub.audit_replication()
+        lag = report.lag["pub"]
+        assert lag.version_lag == 0       # deliberate sheds are not loss
+        assert lag.shed_deficit > 0       # ...but stay visible
+        assert report.divergent_total > 0  # the data really is missing
+
+        entry = next(
+            link for link in eco.monitor.health().links
+            if (link.publisher, link.subscriber) == ("pub", "sub")
+        )
+        assert entry.version_lag == 0
+        assert entry.shed_deficit > 0
+        assert entry.to_dict()["shed_deficit"] == entry.shed_deficit
+
+        result = sub.repair_replication(report=report)
+        assert result.verified_in_sync
+        final = sub.audit_replication()
+        assert final.lag["pub"].version_lag == 0
+        # Repair healed every shed key: the ledger trimmed to nothing.
+        assert final.lag["pub"].shed_deficit == 0

@@ -151,6 +151,40 @@ class TestProcessBatch:
             assert SubDoc.__mapper__.find(doc.id) is not None
         assert sub.audit_replication().in_sync
 
+    def test_redo_failure_does_not_poison_the_batch(self):
+        """If a rollback-recovery redo fails a second time, the other
+        redos must still run and the exception must not escape
+        ``process_batch`` — the completed prefix is already counted and
+        deduped, so a batch-wide nack would silently lose its writes on
+        the dedup-skipping redelivery."""
+        eco, pub, sub, Doc, SubDoc = build_ecosystem()
+        with pub.controller():
+            docs = [Doc.create(name=f"d{i}") for i in range(4)]
+        batch = sub.subscriber.queue.pop_many(8)
+        # Writes 1-2 land in the transaction, write 3 faults (rollback);
+        # the redo pass then redoes writes 1-2, and the first of those
+        # faults again.
+        sub.database.faults.skip_next_writes = 2
+        sub.database.faults.fail_next_writes = 2
+        done, retry, errors = sub.subscriber.process_batch(batch)
+        assert errors == 1
+        # The completed prefix is done (ackable), never retried.
+        assert len(done) == 2 and len(retry) == 2
+        assert eco.metrics.value("subscriber.sub.redo_failed") == 1
+        # The second redo still ran: its row exists.
+        redone = [d for m in done for d in docs if d.id == m.operations[0]["id"]]
+        assert any(SubDoc.__mapper__.find(d.id) is not None for d in redone)
+        for message in done:
+            sub.subscriber.queue.ack(message)
+        done2, retry2, errors2 = sub.subscriber.process_batch(retry)
+        assert (len(retry2), errors2) == (0, 0)
+        for message in done2:
+            sub.subscriber.queue.ack(message)
+        # The lost redo shows up as divergence for anti-entropy to heal.
+        report = sub.audit_replication()
+        assert not report.in_sync
+        assert sub.repair_replication(report=report).verified_in_sync
+
     def test_weak_batch_converges_and_audits_clean(self):
         eco, pub, sub, Doc, SubDoc = build_ecosystem(
             mode="weak", coalesce=True

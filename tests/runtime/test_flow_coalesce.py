@@ -11,6 +11,7 @@ from repro.runtime.flow import FlowConfig, FlowController
 from repro.runtime.flow.coalesce import (
     coalesce_key,
     merge_into,
+    raised_waits,
     union_conflicts,
 )
 from repro.runtime.metrics import MetricsRegistry
@@ -93,6 +94,31 @@ class TestMergeArithmetic:
         )
         assert not union_conflicts(write(deps={"a": 1}), write(deps={"b": 1}))
 
+    def test_union_conflicts_reverse_direction(self):
+        """An intervener that *increments* a key the absorbed write
+        newly waits on also rejects the merge — the bump would sit
+        behind the merged survivor's earlier queue position."""
+        survivor = write(deps={"o": 1})
+        intervener = write(deps={"p": 0})  # bumps p when it applies
+        assert not union_conflicts(survivor, intervener)
+        assert union_conflicts(survivor, intervener, frozenset({"p"}))
+
+    def test_raised_waits_discounts_the_survivors_own_bumps(self):
+        # The absorbed chain dep is fully covered by the survivor's own
+        # increment: nothing is newly waited on.
+        assert raised_waits(write(deps={"k": 2}), write(deps={"k": 3})) == set()
+        # A higher or brand-new requirement (write, read, or external)
+        # is a wait the merge would move to the survivor's position.
+        assert raised_waits(
+            write(deps={"k": 2}),
+            write(deps={"k": 4, "p": 1}, externals={"x": 9}),
+        ) == {"k", "p", "x"}
+        # Externals already required by the survivor are not raised.
+        assert raised_waits(
+            write(deps={"k": 2}, externals={"x": 9}),
+            write(deps={"k": 3}, externals={"x": 9}),
+        ) == set()
+
 
 class FlowedQueue:
     def __init__(self, mode="weak", **config_kwargs):
@@ -166,6 +192,30 @@ class TestQueueCoalescing:
         # the *next* same-object write merges into it, not the original.
         q.queue.publish(write(op_id=1, deps={"h1": 2}))
         assert len(q.queue) == 3
+        assert q.registry.value("flow.q.coalesced") == 1
+
+    def test_causal_absorbed_dep_on_intervener_rejects(self):
+        """Reverse hazard direction: the absorbed write waits on a key
+        the intervener bumps. Merged to the survivor's earlier queue
+        position, it would wait on a bump queued behind itself (and
+        the batched worker would spin it into a §6.5 give-up)."""
+        q = FlowedQueue(mode="causal")
+        q.queue.publish(write(op_id=1, deps={"o": 0}))           # survivor
+        q.queue.publish(write(op_id=2, deps={"p": 0}))           # bumps p
+        q.queue.publish(write(op_id=1, deps={"o": 1, "p": 1}))   # needs p@1
+        assert len(q.queue) == 3
+        assert q.registry.value("flow.q.coalesce_rejected") == 1
+        assert q.registry.value("flow.q.coalesced") == 0
+
+    def test_causal_covered_dep_still_merges_past_disjoint_intervener(self):
+        """The reverse check discounts the survivor's own bumps: a
+        chained dep the survivor itself satisfies does not reject, so
+        disjoint interveners stay transparent to coalescing."""
+        q = FlowedQueue(mode="causal")
+        q.queue.publish(write(op_id=1, deps={"o": 0}))
+        q.queue.publish(write(op_id=2, deps={"p": 0}))  # disjoint
+        q.queue.publish(write(op_id=1, deps={"o": 1}))  # covered by survivor
+        assert len(q.queue) == 2
         assert q.registry.value("flow.q.coalesced") == 1
 
     def test_causal_in_flight_conflict_rejects(self):
