@@ -1,0 +1,152 @@
+"""Process-shard throughput: does a second interpreter actually help?
+
+The whole point of the message-passing-only control plane is that a
+shard never reaches into a peer's heap — so services can be placed into
+separate OS processes, each with its own GIL. This benchmark runs the
+same six-service social ecosystem (two publishers, four subscribers)
+two ways and times end-to-end completion, workload start to mesh
+quiescence:
+
+- **1 shard** — one worker process owns every service: both social
+  workloads run back-to-back on one interpreter (the pre-shard shape,
+  plus the same runner overhead so the comparison is fair);
+- **2 shards** — the demo placement: each process owns one publisher,
+  its local feed, and the *other* publisher's mirror, so the workloads
+  run on two interpreters in parallel and every mirror delivery crosses
+  the broker's forward seam.
+
+Each operation carries a small emulated I/O wait (``THINK_S``) — the
+paper's publishers are web-application request handlers blocking on
+databases and HTTP, not pure CPU loops. That makes the benchmark honest
+on any host: on a single-CPU box the second process wins by overlapping
+waits, on multicore it additionally wins by parallel compute.
+
+Throughput is publisher operations completed per second of wall time.
+The acceptance bar is deliberately modest — 2 shards must not be
+*slower* than 1 (near-linear scaling is the stretch goal, not the
+gate): the cross-shard forwarding and quiescence polling must cost less
+than the second interpreter buys. Results land in ``BENCH_shard.json``
+at the repo root; set ``REPRO_BENCH_QUICK=1`` for the small workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+from benchmarks.common import emit, format_table
+from repro.runtime.transport.demo import (
+    DEMO_PLACEMENT,
+    OPS_ENV,
+    build_demo_ecosystem,
+)
+from repro.runtime.transport.shard import ShardRunner
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+#: Operations per publisher (each variant runs 2x this in total).
+OPERATIONS = 200 if QUICK else 1000
+#: Emulated per-operation I/O wait (database/HTTP time of the request
+#: handler driving the publisher).
+THINK_S = 0.001
+
+_JSON_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                          "BENCH_shard.json")
+
+PLACEMENTS = {
+    1: {"shard0": [svc for owned in DEMO_PLACEMENT.values()
+                   for svc in owned]},
+    2: DEMO_PLACEMENT,
+}
+
+
+def bench_scenario(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
+    """Run the social workload for every publisher this shard owns (one
+    each in the 2-shard placement, both in the 1-shard placement)."""
+    from repro.workloads import SocialWorkload
+
+    operations = int(os.environ[OPS_ENV])
+    done = 0
+    for index, name in enumerate(("social0", "social1")):
+        service = ecosystem.local_service(name)
+        if service is None:
+            continue
+        workload = SocialWorkload(
+            service,
+            service.registry["User"],
+            service.registry["Post"],
+            service.registry["Comment"],
+            users=5,
+            seed=11 + index,
+        )
+        for _ in range(operations):
+            workload.step()
+            time.sleep(THINK_S)  # the request handler's I/O wait
+        done += operations
+    return {"operations": done}
+
+
+def _run_variant(shards: int) -> Dict[str, Any]:
+    os.environ[OPS_ENV] = str(OPERATIONS)
+    runner = ShardRunner(
+        build_demo_ecosystem,
+        PLACEMENTS[shards],
+        scenario=bench_scenario,
+        timeout=300.0,
+    )
+    outcome = runner.run()
+    total_ops = sum(
+        shard["scenario"]["operations"]
+        for shard in outcome["shards"].values()
+    )
+    stats = [shard["stats"] for shard in outcome["shards"].values()]
+    assert total_ops == 2 * OPERATIONS
+    assert all(s["dropped"] == 0 for s in stats)
+    forwarded = sum(s["forwarded"] for s in stats)
+    assert forwarded == sum(s["delivered"] for s in stats)
+    return {
+        "shards": shards,
+        "operations": total_ops,
+        "elapsed_s": outcome["elapsed"],
+        "ops_per_s": total_ops / outcome["elapsed"],
+        "routed": sum(s["routed"] for s in stats),
+        "forwarded": forwarded,
+        "quiesce_polls": outcome["quiesce_polls"],
+    }
+
+
+def test_two_shards_not_slower_than_one():
+    """Two worker processes must complete the same total workload at
+    least as fast as one, despite paying the cross-shard forward seam."""
+    results = [_run_variant(1), _run_variant(2)]
+    by_shards = {r["shards"]: r for r in results}
+    speedup = by_shards[2]["ops_per_s"] / by_shards[1]["ops_per_s"]
+
+    emit(format_table(
+        f"Process-shard throughput (2x{OPERATIONS} social operations"
+        f"{', quick' if QUICK else ''})",
+        ["shards", "ops", "routed", "forwarded", "elapsed s", "ops/s"],
+        [[r["shards"], r["operations"], r["routed"], r["forwarded"],
+          f"{r['elapsed_s']:.2f}", f"{r['ops_per_s']:,.0f}"]
+         for r in results],
+    ) + [f"2 shards vs 1: {speedup:.2f}x"])
+
+    with open(_JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump({
+            "benchmark": "shard_throughput",
+            "quick": QUICK,
+            "operations_per_publisher": OPERATIONS,
+            "variants": results,
+            "speedup_2_shards_vs_1": speedup,
+        }, fh, indent=2)
+        fh.write("\n")
+
+    assert speedup >= 1.0, (
+        f"2-shard run was slower than single-process: {speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - CI smoke entry point
+    test_two_shards_not_slower_than_one()
+    print(f"wrote {_JSON_PATH}")

@@ -27,6 +27,13 @@ Commands:
         kill cliff, then a hot-object update storm coalesce and drain
         through batched group-committed applies; exits 0 iff shedding
         and coalescing both happened and the queue survived
+    shard --demo [--operations N] [--timeout S]
+        process-sharded runtime demo: two worker processes each own
+        half of a six-service social ecosystem; write messages bound
+        for remote queues are forwarded through the broker seam, and
+        every audit/repair rides control-plane envelopes over pipes;
+        exits 0 iff all audits are digest-equal and the cross-shard
+        targeted repair verifies
     repair --demo [--objects N] [--lose K]
         reproduce the §6.5 message-loss incident (lost write-messages
         wedging a causal subscriber), audit replica divergence with
@@ -225,6 +232,10 @@ def main(argv: list) -> int:
         from repro.runtime.flow.demo import flow_command
 
         return flow_command(args)
+    if command == "shard":
+        from repro.runtime.transport.demo import shard_command
+
+        return shard_command(args)
     if command == "repair":
         def _flag(name: str, default: int) -> int:
             if name in args:

@@ -56,6 +56,10 @@ class Broker:
         #: ecosystem enables flow control): every queue gets per-queue
         #: admission credits and a coalescing index.
         self.flow = None
+        #: Shard seam (bound via :meth:`attach_placement` by the shard
+        #: runtime): ``(is_local, forwarder)``. ``None`` means every
+        #: subscriber queue is drained in this process.
+        self._placement = None
         # Registry-backed atomic counters: concurrent publishers used to
         # bump plain ints outside self._lock and lose increments.
         self._dropped = self.metrics.counter("broker.dropped")
@@ -116,6 +120,15 @@ class Broker:
             for queue in self._queues.values():
                 queue.flow = controller.for_queue(queue)
 
+    def attach_placement(self, is_local, forwarder) -> None:
+        """Shard seam: ``is_local(subscriber_app)`` says whether that
+        queue is drained on this shard; ``forwarder(subscriber_app,
+        payload_json)`` ships the wire payload to the owning shard, whose
+        :meth:`deliver_remote` enqueues it there (so flow admission and
+        routing spans run where the queue is actually drained)."""
+        with self._lock:
+            self._placement = (is_local, forwarder)
+
     def bind(self, subscriber_app: str, publisher_app: str) -> SubscriberQueue:
         """Subscribe ``subscriber_app``'s queue to ``publisher_app``."""
         queue = self.queue_for(subscriber_app)
@@ -138,24 +151,38 @@ class Broker:
         """Fan the message out to every bound subscriber queue.
 
         Each queue receives its own wire-format copy, so subscribers can
-        never observe each other's mutations.
+        never observe each other's mutations. The message is serialised
+        *once* per publish; each queue deserialises its own copy from the
+        shared payload (one ``to_json`` instead of one per subscriber).
+
+        Under a shard placement, queues owned by other shards receive the
+        same wire payload via the forwarder instead of a local enqueue.
         """
         with self._lock:
             targets = [
-                self._queues[sub]
+                (sub, self._queues[sub])
                 for sub, pubs in self._bindings.items()
                 if message.app in pubs and sub in self._queues
             ]
+            placement = self._placement
+        if placement is not None:
+            is_local, forwarder = placement
+            local = [(sub, queue) for sub, queue in targets if is_local(sub)]
+            remote = [sub for sub, _ in targets if not is_local(sub)]
+        else:
+            local, remote = targets, []
         # Graduated backpressure, stage one: stall the publishing thread
         # while a target queue is out of admission credits ("slow before
         # shed before kill"). Off unless the flow config sets a delay.
+        # Remote queues exercise admission on their owning shard instead.
         delay = 0.0
-        for queue in targets:
+        for _, queue in local:
             if queue.flow is not None:
                 delay = max(delay, queue.flow.publish_delay())
         if delay > 0:
             time.sleep(delay)
-        for queue in targets:
+        payload: Optional[str] = None
+        for sub, queue in local:
             if self._should_drop():
                 self._dropped.increment()
                 if self.recorder is not None:
@@ -166,15 +193,50 @@ class Broker:
                         app=message.app,
                     )
                 continue
+            if payload is None:
+                payload = message.to_json()
             if message.trace is None:
-                queue.publish(message.copy())
+                queue.publish(Message.from_json(payload))
             else:
                 start = trace_now()
-                copy = message.copy()
+                copy = Message.from_json(payload)
                 queue.publish(copy)
                 if copy.trace is not None:
                     copy.trace.add(STAGE_ROUTE, start, trace_now() - start)
             self._routed.increment()
+        for sub in remote:
+            if self._should_drop():
+                self._dropped.increment()
+                if self.recorder is not None:
+                    self.recorder.record_event(
+                        "broker.drop",
+                        queue=sub,
+                        uid=message.uid,
+                        app=message.app,
+                    )
+                continue
+            if payload is None:
+                payload = message.to_json()
+            forwarder(sub, payload)
+
+    def deliver_remote(self, subscriber_app: str, payload: str) -> None:
+        """Enqueue a wire payload forwarded from another shard.
+
+        Runs on the shard that owns ``subscriber_app``'s queue, so flow
+        admission, routing spans and the routed counter all land where
+        the queue is drained.
+        """
+        queue = self.queue_for(subscriber_app)
+        if queue.flow is not None:
+            delay = queue.flow.publish_delay()
+            if delay > 0:
+                time.sleep(delay)
+        start = trace_now()
+        copy = Message.from_json(payload)
+        queue.publish(copy)
+        if copy.trace is not None:
+            copy.trace.add(STAGE_ROUTE, start, trace_now() - start)
+        self._routed.increment()
 
     # -- fault injection -----------------------------------------------------------
 

@@ -14,7 +14,13 @@ import json
 import threading
 from typing import Any, Dict, List, Optional
 
+from repro.errors import BrokerError
 from repro.runtime.tracing import Trace
+
+#: Data-plane wire-format schema version. Bump when a field changes
+#: meaning; receivers refuse payloads from a *newer* schema instead of
+#: silently misreading them.
+WIRE_VERSION = 1
 
 _seq = itertools.count(1)
 _seq_lock = threading.Lock()
@@ -79,6 +85,7 @@ class Message:
 
     def to_json(self) -> str:
         payload = {
+            "wire_version": WIRE_VERSION,
             "uid": self.uid,
             "app": self.app,
             "operations": self.operations,
@@ -100,6 +107,12 @@ class Message:
     @classmethod
     def from_json(cls, payload: str) -> "Message":
         data = json.loads(payload)
+        version = data.get("wire_version", 1)
+        if version > WIRE_VERSION:
+            raise BrokerError(
+                f"message wire_version {version} is newer than supported "
+                f"{WIRE_VERSION}; upgrade this subscriber before the publisher"
+            )
         return cls(
             app=data["app"],
             operations=data["operations"],

@@ -46,6 +46,7 @@ from repro.orm.model import Model, bind_model
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.monitor import FlightRecorder, LagMonitor
 from repro.runtime.tracing import Tracer
+from repro.runtime.transport import ControlPlane
 from repro.versionstore import (
     DependencyHasher,
     PublisherVersionStore,
@@ -99,6 +100,39 @@ class Ecosystem:
         #: the pre-flow per-message pipeline byte-for-byte.
         self.flow = None
         self.services: Dict[str, Service] = {}
+        #: Control plane: every cross-service interaction that is not a
+        #: broker write-message (bootstrap snapshots, digest exchange,
+        #: repair triggers, watermark reads) flows through here as a
+        #: JSON envelope — in-process over the loopback transport, or
+        #: across worker processes in a sharded run.
+        self.control = ControlPlane(self)
+        #: Names of the services *this process* owns; None means all of
+        #: them (the default single-process deployment). A ShardRunner
+        #: worker narrows it to its placement.
+        self.owned_services: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    # Local-service views (the only sanctioned enumeration surface:
+    # subsystems outside this module must not dereference
+    # ``ecosystem.services`` — peers are reached via ``eco.control``)
+    # ------------------------------------------------------------------
+
+    def local_services(self) -> List["Service"]:
+        """The services hosted by this process (all of them unless a
+        shard placement narrowed ``owned_services``)."""
+        if self.owned_services is None:
+            return list(self.services.values())
+        return [
+            service for name, service in self.services.items()
+            if name in self.owned_services
+        ]
+
+    def local_service(self, name: str) -> Optional["Service"]:
+        """One locally-hosted service, or None if ``name`` is unknown
+        here or owned by another shard."""
+        if self.owned_services is not None and name not in self.owned_services:
+            return None
+        return self.services.get(name)
 
     def enable_tracing(
         self, sample_rate: Optional[float] = None, seed: Optional[int] = None
@@ -135,15 +169,16 @@ class Ecosystem:
             raise SynapseError(f"service {name!r} already exists")
         service = Service(name, self, **kwargs)
         self.services[name] = service
+        self.control.register_service(service)
         return service
 
     def drain_all(self, max_rounds: int = 100) -> int:
-        """Run every subscriber until the whole ecosystem is quiescent —
-        decorator cascades can need several rounds."""
+        """Run every locally-owned subscriber until this process is
+        quiescent — decorator cascades can need several rounds."""
         total = 0
         for _ in range(max_rounds):
             progressed = 0
-            for service in self.services.values():
+            for service in self.local_services():
                 progressed += service.subscriber.drain()
             total += progressed
             if progressed == 0:

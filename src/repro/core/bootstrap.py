@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.marshal import marshal_operation
 from repro.errors import SynapseError
 
 
@@ -44,36 +43,33 @@ def bootstrap_subscriber(
     if queue is not None and queue.decommissioned:
         queue.recommission()
 
+    control = service.ecosystem.control
     applied = 0
     for app in apps:
-        publisher_service = service.ecosystem.services.get(app)
-        if publisher_service is None:
+        if not control.known(app):
             raise SynapseError(
                 f"cannot bootstrap {service.name!r}: publisher {app!r} unknown"
             )
-        # Step 1 — bulk version transfer.
-        snapshot = publisher_service.publisher_version_store.snapshot()
-        service.subscriber_version_store.bulk_load(snapshot)
-        subscriber.generations[app] = publisher_service.current_generation()
+        # Step 1 — bulk version transfer, answered by the publisher's
+        # control-plane handler (which may live in another process).
+        snapshot = control.bootstrap_snapshot(app)
+        service.subscriber_version_store.bulk_load(snapshot["versions"])
+        subscriber.generations[app] = snapshot["generation"]
 
-        # Step 2 — bulk data transfer of every subscribed model.
+        # Step 2 — bulk data transfer of every subscribed model: the
+        # publisher dumps each model as marshaled wire operations.
         for (from_app, model_name), spec in sorted(subscriber.specs.items()):
             if from_app != app:
                 continue
             if models is not None and model_name not in models:
                 continue
-            publisher_model = publisher_service.registry.get(model_name)
-            if publisher_model is None or publisher_model.__mapper__ is None:
+            dump = control.model_dump(app, model_name)
+            if not dump["found"]:
                 continue
-            fields = publisher_service.published_fields_for(publisher_model)
-            if fields is None:
-                continue
-            rows = publisher_model.__mapper__._do_where({}, None, None)
             dumped_ids = set()
-            for row in rows:
-                operation = marshal_operation("update", publisher_model, row, fields)
+            for operation, row_id in zip(dump["operations"], dump["ids"]):
                 subscriber._apply_operation(app, operation)
-                dumped_ids.add(row["id"])
+                dumped_ids.add(row_id)
                 applied += 1
             # Anti-entropy: drop local rows the publisher no longer has
             # (their delete messages may have been lost — without this, a

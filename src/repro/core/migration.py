@@ -135,8 +135,8 @@ def replicate_service(
     from repro.orm.fields import Field
     from repro.orm.model import Model
 
-    source = ecosystem.services.get(source_name)
-    if source is None:
+    control = ecosystem.control
+    if not control.known(source_name):
         raise MigrationError(f"unknown source service {source_name!r}")
     clone = ecosystem.service(clone_name, database=database)
     broker = ecosystem.broker
@@ -145,14 +145,24 @@ def replicate_service(
         wanted = (model_fields or {}).get(model_name)
         if wanted is not None:
             fields = [f for f in fields if f in wanted]
-        source_model = source.registry.get(model_name)
+        # Field *types* come over the control plane as type names — the
+        # clone never sees the source's Field objects.
+        schema = control.model_schema(source_name, model_name) or {}
         namespace: Dict[str, Any] = {}
         for field_name in fields:
-            source_field = source_model._fields.get(field_name) if source_model else None
             namespace[field_name] = Field(
-                source_field.py_type if source_field else None
+                _PY_TYPES.get(schema.get(field_name))
             )
         clone_model = type(model_name, (Model,), namespace)
         clone.model(subscribe={"from": source_name, "fields": fields})(clone_model)
     bootstrap_subscriber(clone)
     return clone
+
+
+#: Wire type names a replicated clone can map back onto python types;
+#: anything else (custom classes) degrades to an untyped Field, exactly
+#: like a source model that was missing from the registry used to.
+_PY_TYPES: Dict[str, type] = {
+    "str": str, "int": int, "float": float, "bool": bool,
+    "list": list, "dict": dict, "tuple": tuple, "bytes": bytes,
+}

@@ -87,7 +87,7 @@ def check_ecosystem(ecosystem: Any) -> List[str]:
     publication. Returns human-readable problem strings (empty = OK)."""
     problems: List[str] = []
     broker = ecosystem.broker
-    for service in ecosystem.services.values():
+    for service in ecosystem.local_services():
         for (from_app, model_name), spec in service.subscriber.specs.items():
             published = broker.published_fields(from_app, model_name)
             if published is None:
@@ -102,7 +102,7 @@ def check_ecosystem(ecosystem: Any) -> List[str]:
                     f"{service.name}: attributes {missing} of "
                     f"{from_app}/{model_name} are not published"
                 )
-            if from_app not in ecosystem.services:
+            if not ecosystem.control.known(from_app):
                 problems.append(
                     f"{service.name}: publisher {from_app!r} is not running"
                 )

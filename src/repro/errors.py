@@ -118,3 +118,35 @@ class DependencyDeadlock(SynapseError):
 
 class MigrationError(SynapseError):
     """A live schema migration rule of §4.3 was violated."""
+
+
+# --------------------------------------------------------------------------
+# Control-plane transport errors
+# --------------------------------------------------------------------------
+
+class TransportError(SynapseError):
+    """A control-plane request could not be transported to its peer."""
+
+
+class TransportTimeout(TransportError):
+    """A control-plane request got no reply within its deadline."""
+
+
+class TransportSerializationError(TransportError):
+    """A control-plane envelope (or its result) is not JSON-serializable —
+    nothing non-wire-format may cross the service boundary."""
+
+
+class ControlPlaneError(SynapseError):
+    """The peer answered a control-plane request with a structured error.
+
+    ``error_type`` carries the remote exception class name (or one of the
+    transport-level codes ``UnknownService`` / ``UnknownOperation``).
+    """
+
+    def __init__(self, message: str, error_type: str = "",
+                 service: str = "", op: str = "") -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.service = service
+        self.op = op

@@ -25,7 +25,6 @@ from repro.errors import SynapseError
 from repro.repair.digest import (
     DEFAULT_LEAVES,
     ModelDigest,
-    publisher_model_digest,
     subscriber_model_digest,
 )
 from repro.runtime.tracing import STAGE_AUDIT_DIFF, STAGE_AUDIT_DIGEST, trace_now
@@ -228,11 +227,11 @@ class ReplicationAuditor:
             report.published = stats["published"]
             report.acked = stats["acked"]
             report.decommissioned = bool(stats["decommissioned"])
-        publisher_service = service.ecosystem.services.get(app)
-        if publisher_service is not None:
-            deficits = service.subscriber_version_store.deficits(
-                publisher_service.publisher_version_store.snapshot()
-            )
+        # Publisher watermark read: a control-plane request (None when
+        # the publisher is unreachable — then lag stays transit-only).
+        watermarks = service.ecosystem.control.watermarks(app)
+        if watermarks is not None:
+            deficits = service.subscriber_version_store.deficits(watermarks)
             # Deliberate flow-control sheds are backpressure, not loss:
             # reconcile the queue's shed ledger (trimmed to what is
             # still unhealed) and keep it out of the loss signal.
@@ -249,12 +248,11 @@ class ReplicationAuditor:
 
     def _audit_model(self, app: str, spec: Any, trace: Any) -> Optional[ModelAudit]:
         service = self.service
-        publisher_service = service.ecosystem.services.get(app)
-        if publisher_service is None:
-            return None
         digest_start = trace_now() if trace is not None else 0.0
-        pub_digest = publisher_model_digest(
-            publisher_service, spec.model_name,
+        # Merkle digest exchange: the publisher's handler builds and
+        # serializes its digest; only hashes cross the service boundary.
+        pub_digest = service.ecosystem.control.model_digest(
+            app, spec.model_name,
             remote_fields=list(spec.fields), leaves=self.leaves,
         )
         sub_digest = subscriber_model_digest(service, spec, leaves=self.leaves)
@@ -292,10 +290,11 @@ class ReplicationAuditor:
 
 def _digest_pair(service: Any, spec: Any, leaves: int = DEFAULT_LEAVES):
     """(publisher digest, subscriber digest) for one spec — test helper."""
-    publisher_service = service.ecosystem.services[spec.from_app]
     return (
-        publisher_model_digest(publisher_service, spec.model_name,
-                               remote_fields=list(spec.fields), leaves=leaves),
+        service.ecosystem.control.model_digest(
+            spec.from_app, spec.model_name,
+            remote_fields=list(spec.fields), leaves=leaves,
+        ),
         subscriber_model_digest(service, spec, leaves=leaves),
     )
 

@@ -174,6 +174,27 @@ class MerkleTree:
             elif there is None or here[1] != there[1]:
                 yield here[0]
 
+    # -- wire form (control-plane digest exchange) ---------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form: shape parameters + per-object hashes. The levels are
+        *not* shipped — both sides rebuild them deterministically, so a
+        tampered/truncated payload cannot desynchronize the descent."""
+        objects = []
+        for bucket in self._buckets.values():
+            for row_id, row_hash in bucket.values():
+                objects.append([row_id, row_hash])
+        return {"leaves": self.leaves, "fanout": self.fanout,
+                "objects": objects}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MerkleTree":
+        return cls(
+            {row_id: row_hash for row_id, row_hash in data["objects"]},
+            leaves=data["leaves"],
+            fanout=data["fanout"],
+        )
+
 
 @dataclass
 class ModelDigest:
@@ -197,6 +218,25 @@ class ModelDigest:
                 f"digest field sets differ: {self.fields} vs {other.fields}"
             )
         return self.tree.diff(other.tree)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "model_name": self.model_name,
+            "fields": list(self.fields),
+            "built_from": self.built_from,
+            "tree": self.tree.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModelDigest":
+        return cls(
+            app=data["app"],
+            model_name=data["model_name"],
+            fields=list(data["fields"]),
+            tree=MerkleTree.from_dict(data["tree"]),
+            built_from=data.get("built_from", 0),
+        )
 
 
 def _raw_rows(model_cls: type) -> List[Dict[str, Any]]:

@@ -92,22 +92,27 @@ def repair_subscriber(
     result = RepairResult(subscriber=service.name, audit=report)
     registry = service.ecosystem.metrics
 
+    control = service.ecosystem.control
     for audit in report.models:
         if not audit.divergent_ids:
             continue
-        publisher_service = service.ecosystem.services.get(audit.publisher)
-        if publisher_service is None:
+        if not control.known(audit.publisher):
             raise SynapseError(
                 f"cannot repair from unknown publisher {audit.publisher!r}"
             )
-        republished = registry.counter(
-            f"repair.{publisher_service.name}.republished"
+        # The repair trigger is a control-plane request: the publisher's
+        # own handler re-publishes the divergent objects, wherever (and
+        # in whichever process) that publisher lives.
+        outcome = control.publish_repairs(
+            audit.publisher, audit.model_name, audit.divergent_ids,
+            batch_size=batch_size,
         )
-        ids = _publish_repairs(
-            publisher_service, audit.model_name, audit.divergent_ids,
-            batch_size, result,
-        )
-        republished.increment(len(ids))
+        ids = outcome["ids"]
+        result.messages_published += outcome["messages_published"]
+        result.deletes_published += outcome["deletes_published"]
+        registry.counter(
+            f"repair.{audit.publisher}.republished"
+        ).increment(len(ids))
         result.repaired[(audit.publisher, audit.model_name)] = ids
 
     # Repair messages flow through the ordinary queue; drain applies them.
@@ -127,21 +132,29 @@ def repair_subscriber(
     return result
 
 
-def _publish_repairs(
+def publish_repairs(
     publisher_service: Any,
     model_name: str,
     divergent_ids: List[Any],
-    batch_size: int,
-    result: RepairResult,
-) -> List[Any]:
-    """Re-publish ``divergent_ids`` of one model as repair messages."""
+    batch_size: int = REPAIR_BATCH_SIZE,
+) -> Dict[str, Any]:
+    """Re-publish ``divergent_ids`` of one model as repair messages.
+
+    Publisher-side: runs under the publisher's own control-plane handler
+    (``publish_repairs`` op), so the subscriber that requested the repair
+    never touches this service's objects. Returns a JSON-serializable
+    summary: ``{"ids", "messages_published", "deletes_published"}``.
+    """
+    summary: Dict[str, Any] = {
+        "ids": [], "messages_published": 0, "deletes_published": 0,
+    }
     model_cls = publisher_service.registry.get(model_name)
     if model_cls is None or model_cls.__mapper__ is None \
             or model_cls.__mapper__.db is None:
-        return []
+        return summary
     pub_fields = publisher_service.published_fields_for(model_cls)
     if pub_fields is None:
-        return []
+        return summary
     clock = publisher_service.ecosystem.clock
     tracer = publisher_service.ecosystem.tracer
     store = publisher_service.publisher_version_store
@@ -164,7 +177,7 @@ def _publish_repairs(
                     "id": row_id,
                     "attributes": {},
                 })
-                result.deletes_published += 1
+                summary["deletes_published"] += 1
             else:
                 operations.append(
                     marshal_operation("update", model_cls, row, pub_fields)
@@ -194,5 +207,6 @@ def _publish_repairs(
                       trace_now() - publish_start)
             message.trace = trace
         publisher_service.broker.publish(message)
-        result.messages_published += 1
-    return repaired
+        summary["messages_published"] += 1
+    summary["ids"] = repaired
+    return summary

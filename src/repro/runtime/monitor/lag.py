@@ -298,7 +298,7 @@ class LagMonitor:
     def links(self) -> List[Tuple[str, str]]:
         """(publisher, subscriber) for every declared subscription."""
         out = set()
-        for service in self.ecosystem.services.values():
+        for service in self.ecosystem.local_services():
             for publisher in service.subscriber.app_modes:
                 out.add((publisher, service.name))
         return sorted(out)
@@ -340,7 +340,7 @@ class LagMonitor:
             entry.over_fraction / slo.over_budget if slo.over_budget > 0 else 0.0
         )
 
-        service = self.ecosystem.services.get(subscriber)
+        service = self.ecosystem.local_service(subscriber)
         if service is not None:
             queue = service.subscriber.queue
             if queue is not None:
@@ -361,11 +361,11 @@ class LagMonitor:
                 entry.queued = queued
                 entry.in_flight = in_flight
                 entry.oldest_in_transit = oldest
-            publisher_service = self.ecosystem.services.get(publisher)
-            if publisher_service is not None:
-                deficits = service.subscriber_version_store.deficits(
-                    publisher_service.publisher_version_store.snapshot()
-                )
+            # Publisher watermark read over the control plane (None when
+            # the publisher is unreachable from this process).
+            watermarks = self.ecosystem.control.watermarks(publisher)
+            if watermarks is not None:
+                deficits = service.subscriber_version_store.deficits(watermarks)
                 # Deficits from deliberate shedding are backpressure,
                 # not the §6.5 loss signature: reconcile the flow
                 # ledger (trimming what repair has healed since) and

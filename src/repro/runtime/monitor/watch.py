@@ -22,7 +22,7 @@ from repro.runtime.monitor.export import to_json, to_prometheus
 from repro.runtime.monitor.lag import LinkSLO
 
 
-def _build_demo_ecosystem() -> Tuple[Any, Any, type]:
+def _build_demo_ecosystem() -> Tuple[Any, Any, Any, type]:
     from repro.core import Ecosystem
     from repro.databases.document import MongoLike
     from repro.databases.relational import PostgresLike
@@ -52,7 +52,7 @@ def _build_demo_ecosystem() -> Tuple[Any, Any, type]:
         name = Field(str)
         score = Field(int, default=0)
 
-    return eco, pub, Item
+    return eco, pub, sub, Item
 
 
 def _flag_value(args: List[str], name: str, default: float) -> float:
@@ -116,7 +116,7 @@ def watch_command(args: List[str]) -> int:
     as_json = "--json" in args
     with_prometheus = "--prometheus" in args
 
-    eco, pub, item_cls = _build_demo_ecosystem()
+    eco, pub, sub, item_cls = _build_demo_ecosystem()
     items: List[Any] = []
     round_no = 0
     try:
@@ -132,7 +132,7 @@ def watch_command(args: List[str]) -> int:
                         items.append(
                             item_cls.create(name=f"item-{round_no}-{i}", score=0)
                         )
-            eco.services["sub"].subscriber.drain()
+            sub.subscriber.drain()
 
             if as_json:
                 print(to_json(eco.metrics, monitor=eco.monitor))

@@ -1,0 +1,199 @@
+"""The ControlPlane: routing of control requests + the typed client API.
+
+One ``ControlPlane`` per ecosystem (``eco.control``). Services register a
+:class:`ControlPlaneHandler` at creation; cross-service subsystems issue
+requests through the typed helpers below and never touch the peer's
+``Service`` object. Requests to a locally-hosted service go through the
+:class:`LoopbackTransport`, which still JSON round-trips every envelope —
+the in-process fast path offers exactly the same (and only the same)
+information a process boundary would. In a sharded run the
+:class:`~repro.runtime.transport.shard.ShardRunner` adds a
+:class:`~repro.runtime.transport.process.ProcessTransport` route per
+remote service and the same call sites transparently cross processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ControlPlaneError
+from repro.runtime.transport.envelopes import ControlRequest, ControlResponse
+from repro.runtime.transport.handler import ControlPlaneHandler
+
+#: Error codes a typed helper may translate into a soft ``None`` result.
+UNKNOWN_SERVICE = "UnknownService"
+
+
+def dispatch_request(
+    handlers: Dict[str, ControlPlaneHandler], request: ControlRequest
+) -> ControlResponse:
+    """Route one deserialized request to its service handler.
+
+    Shared by the loopback transport and the process-shard pipe server so
+    both boundaries answer identically.
+    """
+    handler = handlers.get(request.service)
+    if handler is None:
+        return ControlResponse.failure(
+            request.request_id,
+            UNKNOWN_SERVICE,
+            f"no service {request.service!r} behind this control plane",
+        )
+    return handler.handle(request)
+
+
+class Transport:
+    """Carries one serialized request to a peer and returns its response."""
+
+    def request(self, envelope: ControlRequest,
+                timeout: Optional[float] = None) -> ControlResponse:
+        raise NotImplementedError
+
+
+class LoopbackTransport(Transport):
+    """In-process transport that still pays the wire format.
+
+    Every request and response is serialized to JSON and parsed back, so
+    non-serializable state can never leak between co-hosted services —
+    code that works over loopback works unchanged over a process pipe.
+    """
+
+    def __init__(self, handlers: Dict[str, ControlPlaneHandler]) -> None:
+        self._handlers = handlers
+
+    def request(self, envelope: ControlRequest,
+                timeout: Optional[float] = None) -> ControlResponse:
+        received = ControlRequest.from_json(envelope.to_json())
+        response = dispatch_request(self._handlers, received)
+        return ControlResponse.from_json(response.to_json())
+
+
+class ControlPlane:
+    """Per-ecosystem control-plane router and typed client."""
+
+    def __init__(self, ecosystem: Any = None,
+                 default_timeout: float = 10.0) -> None:
+        self.ecosystem = ecosystem
+        self.default_timeout = default_timeout
+        self._handlers: Dict[str, ControlPlaneHandler] = {}
+        self._routes: Dict[str, Transport] = {}
+        self._loopback = LoopbackTransport(self._handlers)
+
+    # -- wiring --------------------------------------------------------------
+
+    def register_service(self, service: Any) -> ControlPlaneHandler:
+        handler = ControlPlaneHandler(service)
+        self._handlers[service.name] = handler
+        return handler
+
+    def add_route(self, service_name: str, transport: Transport) -> None:
+        """Answer requests for ``service_name`` via ``transport`` instead
+        of a local handler (the service lives in another process)."""
+        self._routes[service_name] = transport
+
+    def known(self, service_name: str) -> bool:
+        """Whether this control plane can reach ``service_name`` at all."""
+        return service_name in self._routes or service_name in self._handlers
+
+    def handlers(self) -> Dict[str, ControlPlaneHandler]:
+        """The local handler table (the pipe server dispatches into it)."""
+        return self._handlers
+
+    # -- the raw request primitive -------------------------------------------
+
+    def request(self, service_name: str, op: str,
+                timeout: Optional[float] = None, **params: Any) -> Dict[str, Any]:
+        envelope = ControlRequest(service=service_name, op=op, params=params)
+        transport = self._routes.get(service_name, self._loopback)
+        response = transport.request(
+            envelope, timeout if timeout is not None else self.default_timeout
+        )
+        if not response.ok:
+            raise ControlPlaneError(
+                f"control request {op!r} to {service_name!r} failed: "
+                f"[{response.error_type}] {response.error_message}",
+                error_type=response.error_type,
+                service=service_name,
+                op=op,
+            )
+        return response.result
+
+    def _request_or_none(self, service_name: str, op: str,
+                         **params: Any) -> Optional[Dict[str, Any]]:
+        """Soft variant: an unknown service answers ``None`` (the pre-seam
+        callers tolerated a missing publisher by skipping the work)."""
+        try:
+            return self.request(service_name, op, **params)
+        except ControlPlaneError as exc:
+            if exc.error_type == UNKNOWN_SERVICE:
+                return None
+            raise
+
+    # -- typed client helpers -------------------------------------------------
+
+    def ping(self, service_name: str) -> bool:
+        result = self._request_or_none(service_name, "ping")
+        return bool(result and result.get("pong"))
+
+    def generation(self, service_name: str) -> int:
+        return int(self.request(service_name, "generation")["generation"])
+
+    def watermarks(self, service_name: str) -> Optional[Dict[str, int]]:
+        """Publisher version-store snapshot, or None if unreachable."""
+        result = self._request_or_none(service_name, "watermarks")
+        return None if result is None else result["versions"]
+
+    def bootstrap_snapshot(self, service_name: str) -> Dict[str, Any]:
+        """{"versions": {...}, "generation": n} — bootstrap step 1 (§4.4)."""
+        return self.request(service_name, "bootstrap_snapshot")
+
+    def model_dump(self, service_name: str, model_name: str) -> Dict[str, Any]:
+        """{"found", "operations", "ids"} — bootstrap step 2 bulk data."""
+        return self.request(service_name, "model_dump", model=model_name)
+
+    def model_digest(
+        self,
+        service_name: str,
+        model_name: str,
+        remote_fields: Optional[List[str]] = None,
+        leaves: Optional[int] = None,
+    ) -> Optional[Any]:
+        """The publisher's :class:`~repro.repair.digest.ModelDigest` of one
+        model (rebuilt from its wire form), or None when there is nothing
+        to digest on that side."""
+        from repro.repair.digest import DEFAULT_LEAVES, ModelDigest
+
+        result = self._request_or_none(
+            service_name,
+            "model_digest",
+            model=model_name,
+            fields=remote_fields,
+            leaves=leaves if leaves is not None else DEFAULT_LEAVES,
+        )
+        if result is None or not result.get("found"):
+            return None
+        return ModelDigest.from_dict(result["digest"])
+
+    def model_schema(self, service_name: str,
+                     model_name: str) -> Optional[Dict[str, Optional[str]]]:
+        """Field -> python type *name* of a peer model, or None."""
+        result = self._request_or_none(
+            service_name, "model_schema", model=model_name
+        )
+        if result is None or not result.get("found"):
+            return None
+        return result["fields"]
+
+    def publish_repairs(
+        self,
+        service_name: str,
+        model_name: str,
+        divergent_ids: List[Any],
+        batch_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Ask the publisher to re-publish divergent objects as repair
+        messages; returns {"ids", "messages_published", "deletes_published"}."""
+        params: Dict[str, Any] = {"model": model_name, "ids": divergent_ids}
+        if batch_size is not None:
+            params["batch_size"] = batch_size
+        return self.request(service_name, "publish_repairs", **params)

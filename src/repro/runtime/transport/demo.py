@@ -1,0 +1,245 @@
+"""The 2-shard social-ecosystem demo (``python -m repro shard --demo``).
+
+Six services across two worker processes; the broker forward seam and
+the control plane are the only things crossing the process boundary:
+
+- ``shard0`` owns ``social0`` (publisher), ``feed0`` (its local
+  subscriber) and ``mirror1`` — a subscriber of ``social1``, which lives
+  on the *other* shard;
+- ``shard1`` owns ``social1``, ``feed1`` and ``mirror0`` (subscriber of
+  ``social0``).
+
+Both shards run the §6.3 social workload concurrently, so every publish
+fans out to one local queue and one forwarded cross-shard queue. After
+the mesh quiesces, each shard audits its subscribers — the mirrors'
+Merkle digests come from the remote publisher over the control plane —
+then deliberately loses one mirror row and heals it with a cross-process
+targeted repair (§6.5 over a pipe).
+
+Everything here is module-level so the spawn start method can pickle the
+callables by reference.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from repro.runtime.transport.shard import ShardRunner
+
+#: shard -> services it owns. The mirrors are deliberately placed on the
+#: opposite shard from their publisher: every mirror delivery and every
+#: mirror audit/repair must cross the process boundary.
+DEMO_PLACEMENT = {
+    "shard0": ["social0", "feed0", "mirror1"],
+    "shard1": ["social1", "feed1", "mirror0"],
+}
+
+#: Workload size knob (environment so it reaches the worker processes).
+OPS_ENV = "REPRO_SHARD_OPS"
+
+
+def _subscribe_social(ecosystem: Any, name: str, from_app: str) -> Any:
+    """A subscriber service mirroring the social publisher's models."""
+    from repro.databases.document import MongoLike
+    from repro.orm import Field, Model
+
+    service = ecosystem.service(name, database=MongoLike(f"{name}-db"))
+
+    @service.model(subscribe={"from": from_app, "fields": ["name"]},
+                   name="User")
+    class User(Model):
+        name = Field(str)
+
+    @service.model(subscribe={"from": from_app,
+                              "fields": ["author_id", "body"]},
+                   name="Post")
+    class Post(Model):
+        body = Field(str)
+        author_id = Field(int)
+
+    @service.model(subscribe={"from": from_app,
+                              "fields": ["post_id", "author_id", "body"]},
+                   name="Comment")
+    class Comment(Model):
+        body = Field(str)
+        post_id = Field(int)
+        author_id = Field(int)
+
+    return service
+
+
+def build_demo_ecosystem() -> Any:
+    """Every shard rebuilds this full topology, then narrows ownership."""
+    from repro.core import Ecosystem
+    from repro.workloads import build_social_publisher
+
+    ecosystem = Ecosystem()
+    build_social_publisher(ecosystem, name="social0")
+    build_social_publisher(ecosystem, name="social1")
+    _subscribe_social(ecosystem, "feed0", "social0")
+    _subscribe_social(ecosystem, "feed1", "social1")
+    _subscribe_social(ecosystem, "mirror0", "social0")
+    _subscribe_social(ecosystem, "mirror1", "social1")
+    return ecosystem
+
+
+def _publisher_of(shard_name: str) -> str:
+    return "social0" if shard_name == "shard0" else "social1"
+
+
+def demo_scenario(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
+    """Run the social workload on this shard's publisher."""
+    from repro.workloads import SocialWorkload
+
+    operations = int(os.environ.get(OPS_ENV, "60"))
+    name = _publisher_of(shard_name)
+    service = ecosystem.local_service(name)
+    workload = SocialWorkload(
+        service,
+        service.registry["User"],
+        service.registry["Post"],
+        service.registry["Comment"],
+        users=5,
+        seed=11 if shard_name == "shard0" else 23,
+    )
+    workload.run(operations)
+    return {
+        "publisher": name,
+        "operations": operations,
+        "posts": workload.posts_created,
+        "comments": workload.comments_created,
+        "published": service.publisher.messages_published,
+    }
+
+
+def demo_verify(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
+    """Audit every owned subscriber, then lose-and-repair one mirror row
+    across the process boundary."""
+    from repro.repair.auditor import ReplicationAuditor
+    from repro.repair.repairer import repair_subscriber
+
+    audits: Dict[str, Dict[str, Any]] = {}
+    for service in ecosystem.local_services():
+        if not service.subscriber.specs:
+            continue
+        report = ReplicationAuditor(service).audit()
+        audits[service.name] = {
+            "in_sync": report.in_sync,
+            "divergent": report.divergent_total,
+            "rows": {
+                model: service.registry[model].count()
+                for model in ("User", "Post", "Comment")
+            },
+        }
+
+    # The mirror's publisher lives on the other shard: the audit above
+    # already exchanged digests over the pipe; now lose a replicated row
+    # locally and let targeted repair heal it — the repair trigger, the
+    # re-published message and the verifying re-audit all cross shards.
+    mirror_name = "mirror1" if shard_name == "shard0" else "mirror0"
+    mirror = ecosystem.local_service(mirror_name)
+    repair_summary: Dict[str, Any] = {"mirror": mirror_name, "ran": False}
+    posts = mirror.registry["Post"].all()
+    if posts:
+        mirror.registry["Post"].__mapper__._do_delete(posts[0].id)
+        result = repair_subscriber(mirror)
+        repair_summary.update(
+            ran=True,
+            divergent=result.audit.divergent_total,
+            objects_repaired=result.objects_repaired,
+            verified_in_sync=result.verified_in_sync,
+        )
+    return {"audits": audits, "repair": repair_summary}
+
+
+def run_demo(operations: int = 60, timeout: float = 60.0) -> Dict[str, Any]:
+    """Build the runner and drive the full 2-shard demo."""
+    os.environ[OPS_ENV] = str(operations)
+    runner = ShardRunner(
+        build_demo_ecosystem,
+        DEMO_PLACEMENT,
+        scenario=demo_scenario,
+        verify=demo_verify,
+        timeout=timeout,
+    )
+    return runner.run()
+
+
+def shard_command(args: Any) -> int:
+    """``python -m repro shard --demo [--operations N] [--timeout S]``."""
+    if "--demo" not in args:
+        print("the shard command currently only supports --demo")
+        return 1
+
+    def _flag(name: str, default: float) -> float:
+        if name in args:
+            return float(args[args.index(name) + 1])
+        return default
+
+    operations = int(_flag("--operations", 60))
+    timeout = _flag("--timeout", 60.0)
+    print(
+        f"2-shard social ecosystem: {operations} operations per shard, "
+        "mirrors subscribed across the process boundary"
+    )
+    outcome = run_demo(operations=operations, timeout=timeout)
+    for shard_name in sorted(outcome["shards"]):
+        shard = outcome["shards"][shard_name]
+        scenario = shard.get("scenario") or {}
+        verify = shard.get("verify") or {}
+        stats = shard.get("stats") or {}
+        print(f"{shard_name} (owns {', '.join(stats.get('owned', []))}):")
+        print(
+            f"  workload: {scenario.get('posts', 0)} posts + "
+            f"{scenario.get('comments', 0)} comments -> "
+            f"{scenario.get('published', 0)} messages from "
+            f"{scenario.get('publisher', '?')}"
+        )
+        print(
+            f"  seam: routed={stats.get('routed', 0)} "
+            f"forwarded={stats.get('forwarded', 0)} "
+            f"delivered={stats.get('delivered', 0)} "
+            f"dropped={stats.get('dropped', 0)}"
+        )
+        for name, audit in sorted((verify.get("audits") or {}).items()):
+            state = "in sync" if audit["in_sync"] \
+                else f"{audit['divergent']} divergent"
+            rows = audit["rows"]
+            print(
+                f"  audit {name}: {state} "
+                f"(users={rows['User']} posts={rows['Post']} "
+                f"comments={rows['Comment']})"
+            )
+        repair = verify.get("repair") or {}
+        if repair.get("ran"):
+            print(
+                f"  repair {repair['mirror']}: {repair['divergent']} "
+                f"divergent -> {repair['objects_repaired']} repaired, "
+                f"verified={repair['verified_in_sync']}"
+            )
+    print(
+        f"quiesced after {outcome['quiesce_polls']} polls in "
+        f"{outcome['elapsed']:.2f}s"
+    )
+    if demo_healthy(outcome):
+        print("OK: all audits digest-equal, cross-shard repairs verified")
+        return 0
+    print("FAILED: divergence or unverified repair — see above")
+    return 1
+
+
+def demo_healthy(outcome: Dict[str, Any]) -> bool:
+    """Did the demo demonstrate what it claims? Every audit in sync and
+    every cross-shard repair verified."""
+    for shard in outcome["shards"].values():
+        verify = shard.get("verify") or {}
+        for audit in (verify.get("audits") or {}).values():
+            if not audit["in_sync"]:
+                return False
+        repair = verify.get("repair") or {}
+        if not repair.get("ran") or not repair.get("verified_in_sync"):
+            return False
+        if (shard.get("stats") or {}).get("dropped"):
+            return False
+    return True

@@ -1,0 +1,132 @@
+"""Per-service control-plane handler.
+
+Each :class:`~repro.core.api.Service` registers one handler with the
+ecosystem's :class:`~repro.runtime.transport.control.ControlPlane`. The
+handler is the *only* code allowed to touch the service's Python objects
+on behalf of a peer — every cross-service subsystem (bootstrap, audit,
+repair, migration, lag monitoring) reaches it through a serialized
+:class:`ControlRequest`, never through the ``Service`` object itself.
+
+Every op returns a JSON-serializable dict. Ops that look something up
+(`model_dump`, `model_digest`, `model_schema`) answer ``found: False``
+instead of erroring when the model has no local replica, mirroring the
+pre-seam behaviour of the in-process callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.runtime.transport.envelopes import ControlRequest, ControlResponse
+
+
+class ControlPlaneHandler:
+    """Answers control-plane requests against one local service."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self._ops: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+            "ping": self._op_ping,
+            "generation": self._op_generation,
+            "watermarks": self._op_watermarks,
+            "bootstrap_snapshot": self._op_bootstrap_snapshot,
+            "model_dump": self._op_model_dump,
+            "model_digest": self._op_model_digest,
+            "model_schema": self._op_model_schema,
+            "publish_repairs": self._op_publish_repairs,
+        }
+
+    def handle(self, request: ControlRequest) -> ControlResponse:
+        op = self._ops.get(request.op)
+        if op is None:
+            return ControlResponse.failure(
+                request.request_id,
+                "UnknownOperation",
+                f"service {self.service.name!r} has no op {request.op!r}",
+            )
+        try:
+            return ControlResponse.success(request, op(request.params))
+        except Exception as exc:  # structured error, never a raw traceback
+            return ControlResponse.failure(
+                request.request_id, type(exc).__name__, str(exc)
+            )
+
+    # -- ops -----------------------------------------------------------------
+
+    def _op_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"service": self.service.name, "pong": True}
+
+    def _op_generation(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"generation": self.service.current_generation()}
+
+    def _op_watermarks(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Publisher version-store snapshot: hashed_dep -> ops counter."""
+        return {"versions": self.service.publisher_version_store.snapshot()}
+
+    def _op_bootstrap_snapshot(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Bootstrap step 1 payload: counters plus the generation the
+        subscriber must adopt (§4.4)."""
+        return {
+            "versions": self.service.publisher_version_store.snapshot(),
+            "generation": self.service.current_generation(),
+        }
+
+    def _op_model_dump(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Bootstrap step 2 payload: every row of one published model,
+        marshaled exactly as a publish would marshal it."""
+        from repro.core.marshal import marshal_operation
+
+        service = self.service
+        model_cls = service.registry.get(params["model"])
+        if model_cls is None or model_cls.__mapper__ is None:
+            return {"found": False, "operations": [], "ids": []}
+        fields = service.published_fields_for(model_cls)
+        if fields is None or model_cls.__mapper__.db is None:
+            return {"found": False, "operations": [], "ids": []}
+        rows = model_cls.__mapper__._do_where({}, None, None)
+        operations = [
+            marshal_operation("update", model_cls, row, fields) for row in rows
+        ]
+        return {
+            "found": True,
+            "operations": operations,
+            "ids": [row["id"] for row in rows],
+        }
+
+    def _op_model_digest(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Merkle digest of the authoritative replica of one model."""
+        from repro.repair.digest import DEFAULT_LEAVES, publisher_model_digest
+
+        digest = publisher_model_digest(
+            self.service,
+            params["model"],
+            remote_fields=params.get("fields"),
+            leaves=params.get("leaves", DEFAULT_LEAVES),
+        )
+        if digest is None:
+            return {"found": False, "digest": None}
+        return {"found": True, "digest": digest.to_dict()}
+
+    def _op_model_schema(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Field -> python type name of one local model (replication-based
+        migration uses it to shape the clone's fields, §6.5)."""
+        model_cls = self.service.registry.get(params["model"])
+        if model_cls is None:
+            return {"found": False, "fields": {}}
+        fields: Dict[str, Any] = {}
+        for name, field in model_cls._fields.items():
+            py_type = getattr(field, "py_type", None)
+            fields[name] = getattr(py_type, "__name__", None)
+        return {"found": True, "fields": fields}
+
+    def _op_publish_repairs(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Repair trigger: re-publish the named divergent objects through
+        this publisher's ordinary pipeline, flagged ``repair=True``."""
+        from repro.repair.repairer import REPAIR_BATCH_SIZE, publish_repairs
+
+        return publish_repairs(
+            self.service,
+            params["model"],
+            params["ids"],
+            batch_size=params.get("batch_size", REPAIR_BATCH_SIZE),
+        )

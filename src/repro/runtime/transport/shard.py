@@ -1,0 +1,288 @@
+"""The process-sharded runtime: services placed into worker processes.
+
+Synapse's deployment story (§2, §5) is many independent OS processes
+coupled *only* by the message fabric. :class:`ShardRunner` reproduces
+that shape inside one host: every shard is a worker process hosting a
+subset of the ecosystem's services, and the two sanctioned seams are the
+only things that cross the boundary —
+
+- data plane: the broker forwards wire payloads for queues owned by
+  other shards (:meth:`~repro.broker.broker.Broker.attach_placement` /
+  :meth:`~repro.broker.broker.Broker.deliver_remote`);
+- control plane: each shard answers its peers' control requests over a
+  :class:`~repro.runtime.transport.process.ProcessTransport`.
+
+Every shard builds the *same* ecosystem from a shared builder function
+(declarations are code, so each process can rebuild the full topology),
+then narrows ``ecosystem.owned_services`` to its own placement. Nothing
+else is shared: no sockets to a common interpreter, no shared memory —
+the shards are real processes with their own GIL, which is the point.
+
+The builder, scenario and verify callables must be module-level
+functions (the spawn start method pickles them by reference).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError, TransportTimeout
+from repro.runtime.transport.process import (
+    PeerLink,
+    ProcessTransport,
+    make_dispatcher,
+)
+
+#: Consecutive stable all-idle polls required before the mesh counts as
+#: quiescent (one poll can race a forwarded payload still in a pipe).
+QUIESCENT_POLLS = 2
+
+
+def _drain_local(ecosystem: Any) -> None:
+    for service in ecosystem.local_services():
+        service.subscriber.drain()
+
+
+def _idle_state(ecosystem: Any, links: Dict[str, PeerLink]) -> Dict[str, int]:
+    backlog = sum(ecosystem.broker.backlog().values())
+    in_flight = sum(ecosystem.broker.in_flight().values())
+    return {
+        "idle": int(backlog == 0 and in_flight == 0),
+        "sent": sum(link.data_sent for link in links.values()),
+        "received": sum(link.data_received for link in links.values()),
+    }
+
+
+def _shard_main(
+    shard_name: str,
+    builder: Callable[[], Any],
+    placement: Dict[str, List[str]],
+    scenario: Optional[Callable[[Any, str], Dict[str, Any]]],
+    verify: Optional[Callable[[Any, str], Dict[str, Any]]],
+    command_conn: Any,
+    peer_conns: Dict[str, Any],
+) -> None:
+    """Worker-process entry point: build, wire the seams, serve commands."""
+    try:
+        ecosystem = builder()
+        owned = set(placement[shard_name])
+        ecosystem.owned_services = owned
+        owner_of = {
+            service_name: shard
+            for shard, services in placement.items()
+            for service_name in services
+        }
+
+        links: Dict[str, PeerLink] = {}
+        for peer, conn in peer_conns.items():
+            links[peer] = PeerLink(
+                conn,
+                dispatch=make_dispatcher(ecosystem.control),
+                data_sink=ecosystem.broker.deliver_remote,
+                recorder=ecosystem.recorder,
+                name=f"{shard_name}->{peer}",
+            ).start()
+        for service_name, owner in owner_of.items():
+            if owner != shard_name and owner in links:
+                ecosystem.control.add_route(
+                    service_name, ProcessTransport(links[owner])
+                )
+        ecosystem.broker.attach_placement(
+            lambda sub: owner_of.get(sub, shard_name) == shard_name,
+            lambda sub, payload: links[owner_of[sub]].send_data(sub, payload),
+        )
+    except Exception as exc:  # startup failure: report, don't hang the parent
+        command_conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+
+    command_conn.send(("ready", shard_name))
+    try:
+        while True:
+            frame = command_conn.recv()
+            kind = frame[0]
+            if kind == "run":
+                result = scenario(ecosystem, shard_name) if scenario else {}
+                _drain_local(ecosystem)
+                command_conn.send(("scenario_done", result))
+            elif kind == "idle?":
+                _drain_local(ecosystem)
+                command_conn.send(("idle", _idle_state(ecosystem, links)))
+            elif kind == "verify":
+                result = verify(ecosystem, shard_name) if verify else {}
+                command_conn.send(("verified", result))
+            elif kind == "finish":
+                _drain_local(ecosystem)
+                command_conn.send(("result", {
+                    "shard": shard_name,
+                    "owned": sorted(owned),
+                    "routed": ecosystem.broker.total_routed,
+                    "dropped": ecosystem.broker.dropped_messages,
+                    "forwarded": sum(l.data_sent for l in links.values()),
+                    "delivered": sum(l.data_received for l in links.values()),
+                    "anomalies": len(ecosystem.recorder.anomalies()),
+                }))
+                break
+            else:
+                command_conn.send(("error", f"unknown command {kind!r}"))
+                break
+    except (EOFError, OSError):
+        pass  # parent went away; nothing left to answer
+    except Exception as exc:
+        try:
+            command_conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        for link in links.values():
+            link.close()
+
+
+class ShardRunner:
+    """Place an ecosystem's services into worker processes and drive a
+    scenario across them.
+
+    ``placement`` maps shard name -> the service names it owns; every
+    service of the built ecosystem must appear in exactly one shard.
+    ``scenario(ecosystem, shard_name)`` runs concurrently on every shard
+    (the per-shard workload); ``verify(ecosystem, shard_name)`` runs
+    after the mesh quiesces (cross-shard audits ride the control plane).
+    Both return JSON-ish dicts that :meth:`run` collects per shard.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[[], Any],
+        placement: Dict[str, List[str]],
+        scenario: Optional[Callable[[Any, str], Dict[str, Any]]] = None,
+        verify: Optional[Callable[[Any, str], Dict[str, Any]]] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if len(placement) < 1:
+            raise ValueError("placement needs at least one shard")
+        self.builder = builder
+        self.placement = {name: list(services)
+                          for name, services in placement.items()}
+        self.scenario = scenario
+        self.verify = verify
+        self.timeout = timeout
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._ctx = multiprocessing.get_context("spawn")
+
+    # -- parent-side protocol ------------------------------------------------
+
+    def _recv(self, conn: Any, shard: str, expected: str) -> Any:
+        if not conn.poll(self.timeout):
+            raise TransportTimeout(
+                f"shard {shard!r} sent no {expected!r} within "
+                f"{self.timeout:.0f}s"
+            )
+        try:
+            frame = conn.recv()
+        except EOFError as exc:
+            raise TransportError(f"shard {shard!r} died") from exc
+        if frame[0] == "error":
+            raise TransportError(f"shard {shard!r} failed: {frame[1]}")
+        if frame[0] != expected:
+            raise TransportError(
+                f"shard {shard!r} answered {frame[0]!r}, expected {expected!r}"
+            )
+        return frame[1] if len(frame) > 1 else None
+
+    def _await_quiescent(self, conns: Dict[str, Any]) -> int:
+        """Poll all shards until the mesh is drained: every shard idle and
+        every forwarded payload accounted for, stable across consecutive
+        polls (monotonic counters make sent==received mean empty pipes)."""
+        deadline = time.monotonic() + self.timeout
+        stable = 0
+        last: Optional[Tuple[int, int]] = None
+        polls = 0
+        while time.monotonic() < deadline:
+            polls += 1
+            for conn in conns.values():
+                conn.send(("idle?",))
+            states = [self._recv(conn, shard, "idle")
+                      for shard, conn in conns.items()]
+            sent = sum(state["sent"] for state in states)
+            received = sum(state["received"] for state in states)
+            if all(state["idle"] for state in states) and sent == received:
+                stable = stable + 1 if last == (sent, received) else 1
+                last = (sent, received)
+                if stable >= QUIESCENT_POLLS:
+                    return polls
+            else:
+                stable, last = 0, None
+            time.sleep(0.02)
+        raise TransportTimeout(
+            f"shard mesh did not quiesce within {self.timeout:.0f}s"
+        )
+
+    def run(self) -> Dict[str, Any]:
+        """Start the shards, run the scenario everywhere, wait for the
+        mesh to drain, verify, and collect per-shard results."""
+        shards = sorted(self.placement)
+        # Full mesh of pair pipes plus one command pipe per shard.
+        peer_conns: Dict[str, Dict[str, Any]] = {name: {} for name in shards}
+        for i, a in enumerate(shards):
+            for b in shards[i + 1:]:
+                end_a, end_b = self._ctx.Pipe()
+                peer_conns[a][b] = end_a
+                peer_conns[b][a] = end_b
+        command: Dict[str, Any] = {}
+        processes: Dict[str, Any] = {}
+        for name in shards:
+            parent_end, child_end = self._ctx.Pipe()
+            command[name] = parent_end
+            processes[name] = self._ctx.Process(
+                target=_shard_main,
+                name=f"shard-{name}",
+                args=(name, self.builder, self.placement, self.scenario,
+                      self.verify, child_end, peer_conns[name]),
+            )
+        started = time.monotonic()
+        results: Dict[str, Any] = {name: {} for name in shards}
+        try:
+            for name in shards:
+                processes[name].start()
+            # The parent's copies of the pipe ends belong to the children.
+            for name in shards:
+                for conn in peer_conns[name].values():
+                    conn.close()
+            for name in shards:
+                self._recv(command[name], name, "ready")
+            for name in shards:
+                command[name].send(("run",))
+            for name in shards:
+                results[name]["scenario"] = self._recv(
+                    command[name], name, "scenario_done"
+                )
+            polls = self._await_quiescent(command)
+            for name in shards:
+                command[name].send(("verify",))
+            for name in shards:
+                results[name]["verify"] = self._recv(
+                    command[name], name, "verified"
+                )
+            for name in shards:
+                command[name].send(("finish",))
+            for name in shards:
+                results[name]["stats"] = self._recv(
+                    command[name], name, "result"
+                )
+            for name in shards:
+                processes[name].join(timeout=self.timeout)
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            for conn in command.values():
+                conn.close()
+        return {
+            "shards": results,
+            "quiesce_polls": polls,
+            "elapsed": time.monotonic() - started,
+        }

@@ -28,9 +28,11 @@ class WorkerFleet:
     """
 
     def __init__(self, ecosystem: Any, workers: int = 4, **pool_kwargs: Any) -> None:
+        # Only locally-owned services get worker pools: in a process-
+        # sharded run each shard drains exactly its own queues.
         self.pools: List["SubscriberWorkerPool"] = [
             SubscriberWorkerPool(service, workers=workers, **pool_kwargs)
-            for service in ecosystem.services.values()
+            for service in ecosystem.local_services()
             if service.subscriber.queue is not None
         ]
 

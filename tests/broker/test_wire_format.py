@@ -1,0 +1,164 @@
+"""Golden tests for the wire formats.
+
+The data-plane message JSON and the control-plane envelope JSON are the
+two contracts every process boundary depends on: these tests pin the
+exact serialized shape, so an accidental field rename/retype shows up as
+a diff here instead of as silent corruption between shards. On purpose,
+expectations are written as literal dicts, not round trips through the
+code being tested.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.broker.message import WIRE_VERSION, Message
+from repro.errors import BrokerError, TransportError
+from repro.runtime.transport import (
+    CONTROL_WIRE_VERSION,
+    ControlRequest,
+    ControlResponse,
+)
+
+
+def make_message(**overrides):
+    defaults = dict(
+        app="pub",
+        operations=[{
+            "operation": "update",
+            "types": ["User"],
+            "id": 7,
+            "attributes": {"name": "ada", "score": 3},
+        }],
+        dependencies={"pub/users/7": 4},
+        published_at=123.5,
+        generation=2,
+        uid="pub:41",
+    )
+    defaults.update(overrides)
+    return Message(**defaults)
+
+
+class TestMessageGolden:
+    def test_plain_message_exact_payload(self):
+        payload = json.loads(make_message().to_json())
+        assert payload == {
+            "wire_version": 1,
+            "uid": "pub:41",
+            "app": "pub",
+            "operations": [{
+                "operation": "update",
+                "types": ["User"],
+                "id": 7,
+                "attributes": {"name": "ada", "score": 3},
+            }],
+            "dependencies": {"pub/users/7": 4},
+            "external_dependencies": {},
+            "published_at": 123.5,
+            "generation": 2,
+            "bootstrap": False,
+            "repair": False,
+        }
+
+    def test_flags_and_external_deps_serialize(self):
+        payload = json.loads(make_message(
+            bootstrap=True,
+            repair=True,
+            external_dependencies={"other/posts/1": 9},
+        ).to_json())
+        assert payload["bootstrap"] is True
+        assert payload["repair"] is True
+        assert payload["external_dependencies"] == {"other/posts/1": 9}
+
+    def test_coalesce_metadata_exact_payload(self):
+        message = make_message(
+            coalesced_uids=["pub:39", "pub:40"],
+            increments={"pub/users/7": 3},
+        )
+        payload = json.loads(message.to_json())
+        assert payload["coalesced_uids"] == ["pub:39", "pub:40"]
+        assert payload["increments"] == {"pub/users/7": 3}
+        # Absent on plain messages: the keys are conditional, not null.
+        plain = json.loads(make_message().to_json())
+        assert "coalesced_uids" not in plain
+        assert "increments" not in plain
+
+    def test_round_trip_preserves_everything(self):
+        message = make_message(
+            bootstrap=True,
+            repair=True,
+            external_dependencies={"other/posts/1": 9},
+            coalesced_uids=["pub:39"],
+            increments={"pub/users/7": 2},
+        )
+        back = Message.from_json(message.to_json())
+        assert back.uid == message.uid
+        assert back.app == message.app
+        assert back.operations == message.operations
+        assert back.dependencies == message.dependencies
+        assert back.external_dependencies == message.external_dependencies
+        assert back.published_at == message.published_at
+        assert back.generation == message.generation
+        assert back.bootstrap and back.repair
+        assert back.coalesced_uids == ["pub:39"]
+        assert back.counter_increments() == {"pub/users/7": 2}
+
+    def test_newer_wire_version_is_refused(self):
+        data = json.loads(make_message().to_json())
+        data["wire_version"] = WIRE_VERSION + 1
+        with pytest.raises(BrokerError, match="wire_version"):
+            Message.from_json(json.dumps(data))
+
+    def test_versionless_legacy_payload_still_parses(self):
+        data = json.loads(make_message().to_json())
+        del data["wire_version"]
+        assert Message.from_json(json.dumps(data)).uid == "pub:41"
+
+
+class TestControlEnvelopeGolden:
+    def test_request_exact_payload(self):
+        request = ControlRequest(
+            service="social0",
+            op="model_digest",
+            params={"model": "Post", "leaves": 64},
+            request_id="cp-9",
+        )
+        assert json.loads(request.to_json()) == {
+            "wire_version": 1,
+            "request_id": "cp-9",
+            "service": "social0",
+            "op": "model_digest",
+            "params": {"model": "Post", "leaves": 64},
+        }
+
+    def test_response_exact_payloads(self):
+        ok = ControlResponse("cp-9", ok=True, result={"found": True})
+        assert json.loads(ok.to_json()) == {
+            "wire_version": 1,
+            "request_id": "cp-9",
+            "ok": True,
+            "result": {"found": True},
+            "error_type": "",
+            "error_message": "",
+        }
+        err = ControlResponse.failure("cp-9", "UnknownService", "no go")
+        assert json.loads(err.to_json()) == {
+            "wire_version": 1,
+            "request_id": "cp-9",
+            "ok": False,
+            "result": {},
+            "error_type": "UnknownService",
+            "error_message": "no go",
+        }
+
+    def test_newer_envelope_version_is_refused(self):
+        data = json.loads(ControlRequest("s", "ping").to_json())
+        data["wire_version"] = CONTROL_WIRE_VERSION + 1
+        with pytest.raises(TransportError, match="wire_version"):
+            ControlRequest.from_json(json.dumps(data))
+        data = json.loads(ControlResponse("cp-1", ok=True).to_json())
+        data["wire_version"] = CONTROL_WIRE_VERSION + 1
+        with pytest.raises(TransportError, match="wire_version"):
+            ControlResponse.from_json(json.dumps(data))

@@ -1,0 +1,83 @@
+"""Lint-style guard for the control-plane seam.
+
+After the message-passing-only refactor, no subsystem may reach into a
+peer service's heap: cross-service reads ride ``ecosystem.control``
+envelopes and cross-service writes ride the broker. The one sanctioned
+way to hold a ``Service`` *object* is the ecosystem's own registry, so
+this test greps the source tree for ``.services[...]``-style
+dereferences and fails — naming the offending lines — when one appears
+outside the allowlist:
+
+- ``core/api.py`` — the registry itself (and the local_* accessors);
+- ``core/tools.py`` — operator-facing topology/introspection CLI,
+  which deliberately inspects one in-process ecosystem;
+- ``__main__.py`` — CLI glue;
+- ``runtime/transport/`` — the seam's own implementation.
+
+Adding a new shortcut means either refactoring it onto the control
+plane or consciously widening this allowlist in review.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import repro
+
+SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+#: Module paths (relative to the ``repro`` package, '/'-separated) that
+#: may hold peer Service objects.
+ALLOWLIST = (
+    "core/api.py",
+    "core/tools.py",
+    "__main__.py",
+)
+ALLOWLIST_DIRS = (
+    "runtime/transport/",
+)
+
+#: Dereferences of the ecosystem's service registry.
+SHORTCUT = re.compile(
+    r"\.services\s*(\[|\.get\(|\.values\(|\.items\(|\.keys\()"
+)
+
+
+def _allowlisted(rel_path: str) -> bool:
+    return rel_path in ALLOWLIST or any(
+        rel_path.startswith(prefix) for prefix in ALLOWLIST_DIRS
+    )
+
+
+def iter_violations():
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel_path = os.path.relpath(path, SRC_ROOT).replace(os.sep, "/")
+            if _allowlisted(rel_path):
+                continue
+            with open(path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    if SHORTCUT.search(line):
+                        yield f"{rel_path}:{lineno}: {line.strip()}"
+
+
+def test_no_cross_service_object_shortcuts():
+    violations = list(iter_violations())
+    assert violations == [], (
+        "cross-service shared-object shortcut(s) outside the seam "
+        "allowlist — route them through ecosystem.control or the broker:\n"
+        + "\n".join(violations)
+    )
+
+
+def test_allowlist_entries_exist():
+    """A deleted/renamed module must not linger as a stale allowlist
+    entry silently widening the seam."""
+    for rel_path in ALLOWLIST:
+        assert os.path.exists(os.path.join(SRC_ROOT, rel_path)), rel_path
+    for prefix in ALLOWLIST_DIRS:
+        assert os.path.isdir(os.path.join(SRC_ROOT, prefix)), prefix
