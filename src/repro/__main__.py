@@ -34,6 +34,11 @@ Commands:
         every audit/repair rides control-plane envelopes over pipes;
         exits 0 iff all audits are digest-equal and the cross-shard
         targeted repair verifies
+    recover --demo [--operations N] [--timeout S]
+        durability subsystem demo: two shards WAL every state
+        transition, one is kill -9'd mid-traffic, and a restart over
+        the same data directory restores it from snapshot + WAL
+        replay; exits 0 iff the restored mesh ends audit-clean
     repair --demo [--objects N] [--lose K]
         reproduce the §6.5 message-loss incident (lost write-messages
         wedging a causal subscriber), audit replica divergence with
@@ -236,6 +241,10 @@ def main(argv: list) -> int:
         from repro.runtime.transport.demo import shard_command
 
         return shard_command(args)
+    if command == "recover":
+        from repro.durability.demo import recover_command
+
+        return recover_command(args)
     if command == "repair":
         def _flag(name: str, default: int) -> int:
             if name in args:

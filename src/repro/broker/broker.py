@@ -60,6 +60,10 @@ class Broker:
         #: runtime): ``(is_local, forwarder)``. ``None`` means every
         #: subscriber queue is drained in this process.
         self._placement = None
+        #: DurabilityManager (bound via :meth:`attach_durability` when
+        #: the owning ecosystem enables durability): publishes and queue
+        #: transitions are logged to the write-ahead log.
+        self.durability = None
         # Registry-backed atomic counters: concurrent publishers used to
         # bump plain ints outside self._lock and lose increments.
         self._dropped = self.metrics.counter("broker.dropped")
@@ -109,6 +113,7 @@ class Broker:
                 )
                 if self.flow is not None:
                     queue.flow = self.flow.for_queue(queue)
+                queue.durability = self.durability
                 self._queues[subscriber_app] = queue
             return queue
 
@@ -119,6 +124,15 @@ class Broker:
             self.flow = controller
             for queue in self._queues.values():
                 queue.flow = controller.for_queue(queue)
+
+    def attach_durability(self, manager) -> None:
+        """Enable durability logging: every queue (existing and future)
+        logs its state transitions through ``manager``, and every
+        publish leaves an ``out`` record."""
+        with self._lock:
+            self.durability = manager
+            for queue in self._queues.values():
+                queue.durability = manager
 
     def attach_placement(self, is_local, forwarder) -> None:
         """Shard seam: ``is_local(subscriber_app)`` says whether that
@@ -158,6 +172,11 @@ class Broker:
         Under a shard placement, queues owned by other shards receive the
         same wire payload via the forwarder instead of a local enqueue.
         """
+        if self.durability is not None:
+            # Logged before fan-out: the publisher's version store is
+            # already bumped, so the record carries the counter state a
+            # restored process must resume publishing from.
+            self.durability.log_out(message)
         with self._lock:
             targets = [
                 (sub, self._queues[sub])

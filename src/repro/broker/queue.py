@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.broker.message import Message
 from repro.errors import BrokerError, QueueDecommissioned
@@ -40,6 +41,10 @@ class SubscriberQueue:
         #: attached by the broker when ``Ecosystem.enable_flow`` is on.
         #: Its hooks are called under ``self._lock`` and never suspend.
         self.flow = None
+        #: DurabilityManager, attached by the broker when
+        #: ``Ecosystem.enable_durability`` is on. Log hooks run under
+        #: ``self._lock`` so WAL order equals queue-mutation order.
+        self.durability = None
 
     # -- broker side ---------------------------------------------------------
 
@@ -83,6 +88,15 @@ class SubscriberQueue:
                     self._available.notify_all()
                 else:
                     self._available.notify()
+            if self.durability is not None:
+                if outcome == "published":
+                    self.durability.log_pub(self.name, message)
+                    if killed:
+                        self.durability.log_decom(self.name)
+                elif outcome == "coalesced":
+                    self.durability.log_coal(self.name, survivor)
+                elif outcome == "shed":
+                    self.durability.log_shed(self.name, message, self.flow)
         if outcome == "dropped":
             yield_point("queue.drop.decommissioned", queue=self.name, message=message)
             return
@@ -106,6 +120,8 @@ class SubscriberQueue:
             self._unacked.clear()
             if self.flow is not None:
                 self.flow.reset()
+            if self.durability is not None:
+                self.durability.log_recom(self.name)
             self._available.notify_all()
 
     # -- subscriber side -----------------------------------------------------
@@ -211,6 +227,8 @@ class SubscriberQueue:
             else:
                 del self._unacked[message.seq]
                 self.total_acked += 1
+                if self.durability is not None:
+                    self.durability.log_ack(self.name, message)
                 if message.trace is not None:
                     message.trace.mark(MARK_ACKED)
                     # The subscriber already handed the finished trace to
@@ -241,6 +259,32 @@ class SubscriberQueue:
             yield_point("queue.nack.tolerated", queue=self.name, message=message)
         else:
             yield_point("queue.nacked", queue=self.name, message=message)
+
+    def defer(self, message: Message) -> None:
+        """Return an unacked message to the *back* of the queue.
+
+        The worker pools use this instead of :meth:`nack` when a
+        delivery stalled purely on a dependency wait: the missing
+        predecessor is somewhere behind it in this very queue, so
+        redelivering at the front would hand the popper the same
+        message back while the predecessor stays buried — with several
+        workers and small batches that cycle can starve the chain head
+        indefinitely. Rotating to the back guarantees every queued
+        message surfaces within one revolution."""
+        yield_point("queue.defer", queue=self.name, message=message)
+        with self._lock:
+            tolerated = self.decommissioned or message.seq not in self._unacked
+            if not tolerated:
+                del self._unacked[message.seq]
+                message.enqueued_at = trace_now()  # dwell restarts
+                if message.trace is not None:
+                    message.trace.mark(MARK_ENQUEUED)
+                self._items.append(message)
+                self._available.notify()
+        if tolerated:
+            yield_point("queue.defer.tolerated", queue=self.name, message=message)
+        else:
+            yield_point("queue.deferred", queue=self.name, message=message)
 
     def requeue_unacked(self) -> int:
         """Crash recovery: everything in flight goes back on the queue."""
@@ -280,6 +324,51 @@ class SubscriberQueue:
                 "acked": self.total_acked,
                 "decommissioned": int(self.decommissioned),
             }
+
+    def durable_state(self) -> Dict[str, Any]:
+        """Snapshot payload for the durability subsystem: every message
+        still owed to the subscriber as a wire payload dict (in-flight
+        deliveries first, in seq order — the :meth:`requeue_unacked`
+        ordering a crash produces), plus the lifetime counters."""
+        with self._lock:
+            owed = sorted(self._unacked.values(), key=lambda m: m.seq)
+            owed.extend(self._items)
+            pending = []
+            for message in owed:
+                payload = json.loads(message.to_json())
+                payload.pop("trace", None)
+                pending.append(payload)
+            return {
+                "pending": pending,
+                "decommissioned": self.decommissioned,
+                "published": self.total_published,
+                "acked": self.total_acked,
+            }
+
+    def restore_state(
+        self,
+        messages: List[Message],
+        published: int,
+        acked: int,
+        decommissioned: bool,
+    ) -> None:
+        """Re-inject restored messages directly (crash recovery).
+
+        Bypasses :meth:`publish` deliberately: admission control must
+        not re-shed or re-coalesce a backlog the original run already
+        admitted — restore reproduces state, it does not re-decide."""
+        with self._lock:
+            self._items.clear()
+            self._unacked.clear()
+            for message in messages:
+                message.enqueued_at = trace_now()
+                self._items.append(message)
+                if self.flow is not None:
+                    self.flow.register(message)
+            self.total_published = published
+            self.total_acked = acked
+            self.decommissioned = decommissioned
+            self._available.notify_all()
 
     def peek_all(self) -> List[Message]:
         with self._lock:

@@ -99,6 +99,9 @@ class Ecosystem:
         #: FlowController once :meth:`enable_flow` has run; None keeps
         #: the pre-flow per-message pipeline byte-for-byte.
         self.flow = None
+        #: DurabilityManager once :meth:`enable_durability` has run;
+        #: None keeps the in-memory-only pipeline byte-for-byte.
+        self.durability = None
         self.services: Dict[str, Service] = {}
         #: Control plane: every cross-service interaction that is not a
         #: broker write-message (bootstrap snapshots, digest exchange,
@@ -163,6 +166,53 @@ class Ecosystem:
         self.flow = controller
         self.broker.attach_flow(controller)
         return controller
+
+    def enable_durability(
+        self,
+        data_dir: Optional[str] = None,
+        fsync: str = "off",
+        segment_records: Optional[int] = None,
+        group_max: Optional[int] = None,
+        snapshot_every: Optional[int] = None,
+    ) -> Any:
+        """Switch on the durability subsystem (docs/durability.md) and
+        return the :class:`~repro.durability.DurabilityManager`.
+
+        Every durable state transition is appended to a segmented WAL
+        under ``data_dir`` (default: ``$REPRO_DATA_DIR`` or
+        ``./repro-data``), checkpointed into snapshots every
+        ``snapshot_every`` appends (None = explicit snapshots only),
+        and ``eco.durability.restore()`` rebuilds the process after a
+        crash. ``fsync`` is ``off`` / ``interval`` (group commit) /
+        ``always``. The flight recorder's anomaly dumps move under the
+        same data dir unless already armed elsewhere."""
+        import os as _os
+
+        from repro.durability import (
+            DurabilityManager,
+            flight_dir,
+            resolve_data_dir,
+        )
+        from repro.durability.wal import (
+            DEFAULT_GROUP_MAX,
+            DEFAULT_SEGMENT_RECORDS,
+        )
+
+        path = resolve_data_dir(data_dir)
+        manager = DurabilityManager(
+            self,
+            path,
+            fsync=fsync,
+            segment_records=segment_records or DEFAULT_SEGMENT_RECORDS,
+            group_max=group_max or DEFAULT_GROUP_MAX,
+            snapshot_every=snapshot_every,
+        )
+        self.durability = manager
+        self.broker.attach_durability(manager)
+        if self.recorder.dump_dir is None:
+            self.recorder.dump_dir = flight_dir(path)
+            _os.makedirs(self.recorder.dump_dir, exist_ok=True)
+        return manager
 
     def service(self, name: str, **kwargs: Any) -> "Service":
         if name in self.services:
@@ -440,6 +490,8 @@ class Service:
         for shard in self.publisher_version_store.kv.shards:
             shard.restart()
             shard.flushall()
+        if self.ecosystem.durability is not None:
+            self.ecosystem.durability.log_pubgen(self.name, generation)
         return generation
 
     # ------------------------------------------------------------------

@@ -97,6 +97,13 @@ def bootstrap_subscriber(
     subscriber.drain()
     if queue is None or not len(queue):
         subscriber.bootstrapping = False
+    # Bootstrap's bulk transfers bypass the WAL (steps 1 and 2 mutate
+    # state without per-message records), so checkpoint the finished
+    # state: a crash mid-bootstrap re-enters bootstrap, a crash after
+    # this snapshot restores the bootstrapped replica.
+    durability = getattr(service.ecosystem, "durability", None)
+    if durability is not None:
+        durability.snapshot()
     return applied
 
 

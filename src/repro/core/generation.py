@@ -28,3 +28,18 @@ class GenerationAuthority:
             value = self._generations.get(app, 1) + 1
             self._generations[app] = value
             return value
+
+    # -- durability (snapshot/restore) ---------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._generations)
+
+    def restore_all(self, generations: dict) -> None:
+        """Adopt restored generations, set-to-max per app: replaying a
+        WAL tail over a snapshot may revisit older bumps, and a
+        generation must never move backwards."""
+        with self._lock:
+            for app, value in generations.items():
+                if value > self._generations.get(app, 1):
+                    self._generations[app] = value

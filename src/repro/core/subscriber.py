@@ -552,6 +552,9 @@ class SynapseSubscriber:
         """Common bookkeeping once a message has been applied."""
         self._mark_applied(message.uid)
         self._processed.increment()
+        durability = getattr(self.service.ecosystem, "durability", None)
+        if durability is not None:
+            durability.log_apply(self.service.name, message)
         emit = observe_point if record_only else yield_point
         emit("msg.finished", message=message)
         monitor = getattr(self.service.ecosystem, "monitor", None)
@@ -722,6 +725,11 @@ class SynapseSubscriber:
         )
         self._flush_app_dependencies(message.app)
         self.generations[message.app] = message.generation
+        durability = getattr(self.service.ecosystem, "durability", None)
+        if durability is not None:
+            durability.log_gen(
+                self.service.name, message.app, message.generation
+            )
         return True
 
     def _flush_app_dependencies(self, app: str) -> None:

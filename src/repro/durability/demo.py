@@ -1,0 +1,376 @@
+"""Kill-and-restart recovery demo (``python -m repro recover --demo``).
+
+Two shards, each owning one publisher and the *other* shard's
+subscriber, so every replication message crosses the process boundary:
+
+- ``alpha`` owns ``pub0`` and ``sub1`` (subscriber of ``pub1``);
+- ``beta``  owns ``pub1`` and ``sub0`` (subscriber of ``pub0``).
+
+Phase A (crash): both shards run with durability enabled, WAL-ing to
+``<data_dir>/<shard>/``. The survivor (``alpha``) publishes its workload
+first — its forwarded messages land in the victim's subscriber queue and
+its WAL. Then the victim (``beta``) publishes its own workload and
+``kill -9``\\ s itself mid-traffic, before draining anything: its queue
+backlog, publisher rows and version-store counters exist only in its
+write-ahead log. The survivor checkpoints and exits cleanly.
+
+Phase B (restart): a standard :class:`ShardRunner` starts fresh
+processes over the *same* data directory. Each shard restores on
+startup — the survivor from its snapshot, the victim by replaying its
+WAL — then drains, audits every replica against the remote publisher's
+Merkle digests over the control plane, heals any message that died
+in a pipe with targeted repair (§6.5), and re-audits. The demo is
+healthy iff the victim was really SIGKILLed, its restore replayed and
+requeued work, and every final audit is digest-equal.
+
+Everything is module-level so the process start methods can pickle the
+callables by reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import TransportError, TransportTimeout
+from repro.runtime.transport.shard import ShardRunner, _shard_main
+
+#: shard -> services. Subscribers live opposite their publisher, so both
+#: the replication stream and the audit digests cross processes.
+RECOVER_PLACEMENT = {
+    "alpha": ["pub0", "sub1"],
+    "beta": ["pub1", "sub0"],
+}
+
+#: The shard that gets SIGKILLed mid-traffic in phase A.
+RECOVER_VICTIM = "beta"
+
+RECOVER_PUBLISHER = {"alpha": "pub0", "beta": "pub1"}
+
+#: Workload size / kill-switch knobs (environment so they reach the
+#: worker processes across fork).
+RECOVER_OPS_ENV = "REPRO_RECOVER_OPS"
+RECOVER_KILL_ENV = "REPRO_RECOVER_KILL"
+
+
+def build_recover_ecosystem() -> Any:
+    """Two publisher/subscriber pairs; every shard rebuilds the full
+    topology and narrows ownership (declarations are code)."""
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+
+    ecosystem = Ecosystem()
+    for pub_name, sub_name in (("pub0", "sub0"), ("pub1", "sub1")):
+        pub = ecosystem.service(
+            pub_name, database=MongoLike(f"{pub_name}-db"),
+            delivery_mode="causal",
+        )
+
+        @pub.model(publish=["name", "score"], name="Item")
+        class Item(Model):
+            name = Field(str)
+            score = Field(int, default=0)
+
+        sub = ecosystem.service(
+            sub_name, database=PostgresLike(f"{sub_name}-db")
+        )
+
+        @sub.model(subscribe={"from": pub_name, "fields": ["name", "score"],
+                              "mode": "causal"}, name="Item")
+        class SubItem(Model):
+            name = Field(str)
+            score = Field(int, default=0)
+
+    return ecosystem
+
+
+def recover_scenario(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
+    """Publish this shard's workload; the designated victim then SIGKILLs
+    itself mid-traffic, leaving its backlog only in the WAL."""
+    operations = int(os.environ.get(RECOVER_OPS_ENV, "24"))
+    pub_name = RECOVER_PUBLISHER[shard_name]
+    service = ecosystem.local_service(pub_name)
+    Item = service.registry["Item"]
+
+    items = []
+    with service.controller():
+        for i in range(operations):
+            items.append(Item.create(name=f"{pub_name}-item-{i}", score=i))
+    # A causally-chained second wave: updates depend on the creates, so
+    # a restore that loses ordering would wedge or misapply them.
+    with service.controller():
+        for item in items[: operations // 2]:
+            item.score += 100
+            item.save()
+
+    if os.environ.get(RECOVER_KILL_ENV, "") == shard_name:
+        # The point of the demo: a real, unhandled kill — no atexit, no
+        # flush hooks, no goodbye to the parent. Everything this shard
+        # still owes (its undrained subscriber queue, its publisher's
+        # rows and counters) must come back from the WAL alone.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return {
+        "publisher": pub_name,
+        "operations": operations,
+        "published": service.publisher.messages_published,
+    }
+
+
+def recover_converge(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
+    """Phase B per-shard convergence: drain the restored backlog, audit
+    against the remote publisher, and heal anything that died in a pipe
+    with targeted repair (the §6.5 remedy) so the mesh can quiesce."""
+    from repro.repair.repairer import repair_subscriber
+
+    results: Dict[str, Any] = {}
+    for service in ecosystem.local_services():
+        if not service.subscriber.specs:
+            continue
+        service.subscriber.drain()
+        report = service.audit_replication()
+        repaired = 0
+        if not report.in_sync:
+            repaired = repair_subscriber(service).objects_repaired
+        results[service.name] = {
+            "in_sync_before_repair": report.in_sync,
+            "objects_repaired": repaired,
+        }
+    return results
+
+
+def recover_verify(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
+    """Final cross-process Merkle audit of every owned replica."""
+    from repro.repair.auditor import ReplicationAuditor
+
+    audits: Dict[str, Any] = {}
+    for service in ecosystem.local_services():
+        if not service.subscriber.specs:
+            continue
+        report = ReplicationAuditor(service).audit()
+        audits[service.name] = {
+            "in_sync": report.in_sync,
+            "divergent": report.divergent_total,
+            "rows": service.registry["Item"].count(),
+        }
+    return {"audits": audits}
+
+
+# -- phase A: the crash run ----------------------------------------------------
+
+
+def _recv(conn: Any, shard: str, expected: str, timeout: float) -> Any:
+    if not conn.poll(timeout):
+        raise TransportTimeout(
+            f"shard {shard!r} sent no {expected!r} within {timeout:.0f}s"
+        )
+    try:
+        frame = conn.recv()
+    except EOFError as exc:
+        raise TransportError(f"shard {shard!r} died") from exc
+    if frame[0] == "error":
+        raise TransportError(f"shard {shard!r} failed: {frame[1]}")
+    if frame[0] != expected:
+        raise TransportError(
+            f"shard {shard!r} answered {frame[0]!r}, expected {expected!r}"
+        )
+    return frame[1] if len(frame) > 1 else None
+
+
+def _run_crash_phase(
+    data_dir: str, timeout: float
+) -> Dict[str, Any]:
+    """Drive :func:`_shard_main` workers through the crash: survivor's
+    workload, victim's workload ending in SIGKILL, survivor checkpoint.
+
+    This is :meth:`ShardRunner.run` minus the assumption that every
+    shard answers: the victim's silence (EOF / exitcode ``-SIGKILL``)
+    is the expected outcome, not a transport error."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        ctx = multiprocessing.get_context("spawn")
+    shards = sorted(RECOVER_PLACEMENT)
+    victim = RECOVER_VICTIM
+    survivor = next(name for name in shards if name != victim)
+    os.environ[RECOVER_KILL_ENV] = victim
+
+    peer_conns: Dict[str, Dict[str, Any]] = {name: {} for name in shards}
+    for i, a in enumerate(shards):
+        for b in shards[i + 1:]:
+            end_a, end_b = ctx.Pipe()
+            peer_conns[a][b] = end_a
+            peer_conns[b][a] = end_b
+    command: Dict[str, Any] = {}
+    processes: Dict[str, Any] = {}
+    for name in shards:
+        parent_end, child_end = ctx.Pipe()
+        command[name] = parent_end
+        processes[name] = ctx.Process(
+            target=_shard_main,
+            name=f"recover-{name}",
+            args=(name, build_recover_ecosystem, RECOVER_PLACEMENT,
+                  recover_scenario, None, child_end, peer_conns[name],
+                  data_dir),
+        )
+    killed = False
+    survivor_scenario: Dict[str, Any] = {}
+    survivor_stats: Dict[str, Any] = {}
+    try:
+        for name in shards:
+            processes[name].start()
+        for name in shards:
+            for conn in peer_conns[name].values():
+                conn.close()
+        for name in shards:
+            _recv(command[name], name, "ready", timeout)
+        # Survivor first: its forwarded messages reach the victim's
+        # queue — and therefore the victim's WAL — while it still lives.
+        command[survivor].send(("run",))
+        survivor_scenario = _recv(
+            command[survivor], survivor, "scenario_done", timeout
+        )
+        # The victim publishes its own workload and kills itself.
+        command[victim].send(("run",))
+        processes[victim].join(timeout=timeout)
+        killed = processes[victim].exitcode == -signal.SIGKILL
+        # Let the survivor's link thread finish consuming whatever the
+        # victim managed to push into the pipe before dying.
+        last: Optional[int] = None
+        for _ in range(50):
+            command[survivor].send(("idle?",))
+            state = _recv(command[survivor], survivor, "idle", timeout)
+            if state["idle"] and last == state["received"]:
+                break
+            last = state["received"]
+            time.sleep(0.05)
+        command[survivor].send(("finish",))
+        survivor_stats = _recv(command[survivor], survivor, "result", timeout)
+        processes[survivor].join(timeout=timeout)
+    finally:
+        os.environ.pop(RECOVER_KILL_ENV, None)
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in command.values():
+            conn.close()
+    return {
+        "victim": victim,
+        "killed": killed,
+        "survivor": survivor,
+        "survivor_scenario": survivor_scenario,
+        "survivor_stats": survivor_stats,
+    }
+
+
+# -- the full demo -------------------------------------------------------------
+
+
+def run_recover_demo(
+    operations: int = 24,
+    timeout: float = 60.0,
+    data_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Phase A (crash) then phase B (restart over the same data dir)."""
+    if data_dir is None:
+        data_dir = tempfile.mkdtemp(prefix="repro-recover-")
+    os.environ[RECOVER_OPS_ENV] = str(operations)
+    crash = _run_crash_phase(data_dir, timeout)
+    runner = ShardRunner(
+        build_recover_ecosystem,
+        RECOVER_PLACEMENT,
+        scenario=recover_converge,
+        verify=recover_verify,
+        timeout=timeout,
+        durability_dir=data_dir,
+    )
+    restart = runner.run()
+    return {"data_dir": data_dir, "crash": crash, "restart": restart}
+
+
+def recover_healthy(outcome: Dict[str, Any]) -> bool:
+    """Did the demo demonstrate what it claims? The victim really died
+    by SIGKILL, its restore replayed WAL records and requeued backlog,
+    no restore was unrecoverable, and every final audit is in sync."""
+    crash = outcome["crash"]
+    if not crash.get("killed"):
+        return False
+    shards = outcome["restart"]["shards"]
+    victim = crash["victim"]
+    restored = (shards[victim]["stats"] or {}).get("restored") or {}
+    if restored.get("unrecoverable", True):
+        return False
+    if not restored.get("replayed") or not restored.get("requeued"):
+        return False
+    for shard in shards.values():
+        if (shard["stats"] or {}).get("restored", {}).get("unrecoverable"):
+            return False
+        for audit in (shard.get("verify") or {}).get("audits", {}).values():
+            if not audit["in_sync"]:
+                return False
+    return True
+
+
+def recover_command(args: Any) -> int:
+    """``python -m repro recover --demo [--operations N] [--timeout S]``."""
+    if "--demo" not in args:
+        print("the recover command currently only supports --demo")
+        return 1
+
+    def _flag(name: str, default: float) -> float:
+        if name in args:
+            return float(args[args.index(name) + 1])
+        return default
+
+    operations = int(_flag("--operations", 24))
+    timeout = _flag("--timeout", 60.0)
+    print(
+        f"phase A: 2 shards, durability on, {operations} writes per "
+        f"publisher; SIGKILL {RECOVER_VICTIM!r} mid-traffic..."
+    )
+    outcome = run_recover_demo(operations=operations, timeout=timeout)
+    crash = outcome["crash"]
+    print(
+        f"  victim {crash['victim']!r} killed: {crash['killed']} "
+        f"(survivor {crash['survivor']!r} published "
+        f"{crash['survivor_scenario'].get('published', 0)} messages, "
+        "checkpointed, exited cleanly)"
+    )
+    print(f"phase B: restart both shards over {outcome['data_dir']} ...")
+    shards = outcome["restart"]["shards"]
+    for shard_name in sorted(shards):
+        shard = shards[shard_name]
+        restored = (shard["stats"] or {}).get("restored") or {}
+        print(
+            f"  {shard_name}: restored snapshot="
+            f"{restored.get('snapshot_id')} "
+            f"replayed={restored.get('replayed', 0)} WAL records, "
+            f"requeued={restored.get('requeued', 0)} backlog messages, "
+            f"re-applied={restored.get('applied', 0)}"
+        )
+        for name, state in sorted(shard["scenario"].items()):
+            print(
+                f"    {name}: in_sync_before_repair="
+                f"{state['in_sync_before_repair']} "
+                f"repaired={state['objects_repaired']}"
+            )
+        for name, audit in sorted(shard["verify"]["audits"].items()):
+            state = "in sync" if audit["in_sync"] \
+                else f"{audit['divergent']} divergent"
+            print(f"    audit {name}: {state} (rows={audit['rows']})")
+    print(
+        f"  quiesced after {outcome['restart']['quiesce_polls']} polls in "
+        f"{outcome['restart']['elapsed']:.2f}s"
+    )
+    if recover_healthy(outcome):
+        print("OK: kill -9'd shard restored from WAL, all audits digest-equal")
+        return 0
+    print("FAILED: restore incomplete or replicas divergent — see above")
+    return 1

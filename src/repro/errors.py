@@ -121,6 +121,21 @@ class MigrationError(SynapseError):
 
 
 # --------------------------------------------------------------------------
+# Durability errors
+# --------------------------------------------------------------------------
+
+class DurabilityError(SynapseError):
+    """Base class for WAL / snapshot / restore failures."""
+
+
+class WALCorrupt(DurabilityError):
+    """The write-ahead log cannot be trusted: a mid-log record failed
+    its CRC, a segment is missing, or a record uses a newer wire
+    version. Restore must fall back to snapshot-only state and re-enter
+    bootstrap/repair."""
+
+
+# --------------------------------------------------------------------------
 # Control-plane transport errors
 # --------------------------------------------------------------------------
 

@@ -57,6 +57,7 @@ INV_POP = "queue.pop-deadline"
 INV_IDLE = "fleet.idle-deadline"
 INV_LEAK = "drain.no-leaked-deliveries"
 INV_FLOW = "flow.admission-safety"
+INV_DURABLE = "durability.restore-equivalence"
 
 
 @dataclass

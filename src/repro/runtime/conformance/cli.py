@@ -5,9 +5,11 @@ Two shapes:
 - ``conformance --seeds N [--mode M]`` — run the directed scenarios,
   then sweep N seeds per delivery mode (each seed once plain, once
   with crash-recovery, once with flow control — coalescing + batched
-  apply — and a slice with broker faults). This is the CI smoke step.
-  Every failing schedule prints the exact CLI line that replays it.
-- ``conformance --seed K --mode M [--crash --flow --faults F ...]`` —
+  apply — once with durability — WAL every transition, then prove a
+  fresh restore reproduces the live state — and a slice with broker
+  faults). This is the CI smoke step. Every failing schedule prints
+  the exact CLI line that replays it.
+- ``conformance --seed K --mode M [--crash --flow --durability ...]`` —
   replay one schedule and dump its violations and trace tail. This is
   the line the sweep prints when something fails.
 """
@@ -59,6 +61,7 @@ def conformance_command(args: List[str]) -> int:
         queue_limit=_int_flag(args, "--queue-limit", None),
         hash_space=_int_flag(args, "--hash-space", None),
         flow="--flow" in args,
+        durability="--durability" in args,
     )
 
     if seed is not None:
@@ -81,7 +84,7 @@ def conformance_command(args: List[str]) -> int:
 
     print(
         "directed scenarios (pop deadline, fleet deadline, drain leak, "
-        "unsafe coalesce):"
+        "unsafe coalesce, durability crash points):"
     )
     for name, violations in run_directed_scenarios().items():
         if violations:
@@ -97,7 +100,8 @@ def conformance_command(args: List[str]) -> int:
     configs = default_matrix(seeds, modes=modes, base=base)
     print(
         f"sweeping {len(configs)} schedules "
-        f"({seeds} seeds x {len(modes)} modes, plain + crash-recovery + flow):"
+        f"({seeds} seeds x {len(modes)} modes, "
+        "plain + crash-recovery + flow + durability):"
     )
     checked = 0
     for config in configs:

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.delivery import CAUSAL, GLOBAL, WEAK, validate_mode
 from repro.errors import QueueDecommissioned
 from repro.runtime.conformance.checker import (
+    INV_DURABLE,
     INV_WORKER,
     DeliveryChecker,
     Violation,
@@ -61,6 +62,11 @@ class ScheduleConfig:
     #: Enable the flow-control subsystem: coalescing at publish plus
     #: pop_many/process_batch subscriber workers (batched group commit).
     flow: bool = False
+    #: Enable the durability subsystem: every schedule WALs to a
+    #: throwaway data dir, and after quiescence a second fresh
+    #: ecosystem restores from it — restored state must be
+    #: byte-equivalent to the live one (``durability.restore-equivalence``).
+    durability: bool = False
     max_steps: int = 50_000
 
     def describe(self) -> str:
@@ -75,6 +81,8 @@ class ScheduleConfig:
             extras.append(f"qlimit={self.queue_limit}")
         if self.flow:
             extras.append("flow")
+        if self.durability:
+            extras.append("durability")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"mode={self.mode} seed={self.seed}{suffix}"
 
@@ -114,6 +122,8 @@ class ScheduleResult:
             parts.append(f"--hash-space {self.config.hash_space}")
         if self.config.flow:
             parts.append("--flow")
+        if self.config.durability:
+            parts.append("--durability")
         return " ".join(parts)
 
 
@@ -162,7 +172,9 @@ class ConformanceHarness:
 
     # -- ecosystem ------------------------------------------------------------
 
-    def _build_ecosystem(self) -> None:
+    def _make_ecosystem(self) -> Tuple[Any, Any, Any, Any]:
+        """Build one instance of the schedule's topology (the restore-
+        equivalence check rebuilds it to restore into)."""
         from repro.core import Ecosystem
         from repro.databases.document import MongoLike
         from repro.databases.relational import PostgresLike
@@ -170,23 +182,23 @@ class ConformanceHarness:
         from repro.versionstore import DependencyHasher
 
         config = self.config
-        self.eco = Ecosystem(
+        eco = Ecosystem(
             queue_limit=config.queue_limit,
             seed=config.seed,
             hasher=DependencyHasher(config.hash_space),
         )
-        self.pub = self.eco.service(
+        pub = eco.service(
             "pub", database=MongoLike("pub-db"), delivery_mode=config.mode
         )
 
-        @self.pub.model(publish=["name", "value"], name="Doc")
+        @pub.model(publish=["name", "value"], name="Doc")
         class PubDoc(Model):
             name = Field(str)
             value = Field(int, default=0)
 
-        self.sub = self.eco.service("sub", database=PostgresLike("sub-db"))
+        sub = eco.service("sub", database=PostgresLike("sub-db"))
 
-        @self.sub.model(
+        @sub.model(
             subscribe={
                 "from": "pub",
                 "fields": ["name", "value"],
@@ -198,15 +210,87 @@ class ConformanceHarness:
             name = Field(str)
             value = Field(int, default=0)
 
-        self.doc_cls = PubDoc
-
         if config.flow:
             from repro.runtime.flow import FlowConfig
 
             # Small batches keep schedules short; admission capacity
             # comes from the queue limit (admission stays off on
             # unbounded queues, coalescing/batching still exercise).
-            self.eco.enable_flow(FlowConfig(batch_max=3, throttle_delay=0.0))
+            eco.enable_flow(FlowConfig(batch_max=3, throttle_delay=0.0))
+        return eco, pub, sub, PubDoc
+
+    def _build_ecosystem(self) -> None:
+        self.eco, self.pub, self.sub, self.doc_cls = self._make_ecosystem()
+        self._durability_dir: Optional[str] = None
+        if self.config.durability:
+            import tempfile
+
+            self._durability_dir = tempfile.mkdtemp(prefix="repro-conf-wal-")
+            self.eco.enable_durability(data_dir=self._durability_dir)
+
+    # -- durability: restore equivalence --------------------------------------
+
+    @staticmethod
+    def _normalized_durable_state(state: Dict[str, Any]) -> Dict[str, Any]:
+        """Applied-uid *membership* is the durable contract (the dedup
+        check is a set lookup); the deque's order reflects worker
+        scheduling, not state, so normalize it before comparing."""
+        import copy
+
+        state = copy.deepcopy(state)
+        for service_state in state.get("services", {}).values():
+            service_state["applied_uids"] = sorted(
+                service_state.get("applied_uids", [])
+            )
+        return state
+
+    def _check_restore_equivalence(self) -> List[Violation]:
+        """The durability invariant: a second fresh ecosystem restoring
+        from this schedule's WAL must reproduce the live ecosystem's
+        durable state exactly — rows, counters, generations, queue
+        backlog, shed ledgers, dedup membership."""
+        manager = self.eco.durability
+        manager.wal.sync()
+        live = self._normalized_durable_state(manager._capture_state())
+        eco2, _pub2, _sub2, _doc2 = self._make_ecosystem()
+        manager2 = eco2.enable_durability(data_dir=self._durability_dir)
+        violations: List[Violation] = []
+        try:
+            report = manager2.restore()
+            if report.unrecoverable:
+                violations.append(
+                    Violation(
+                        INV_DURABLE,
+                        "restore reported unrecoverable after a clean "
+                        f"schedule: {report.error}",
+                    )
+                )
+                return violations
+            restored = self._normalized_durable_state(
+                manager2._capture_state()
+            )
+            for section in ("generations", "services", "queues"):
+                if restored.get(section) != live.get(section):
+                    violations.append(
+                        Violation(
+                            INV_DURABLE,
+                            f"restored {section} diverge from the live "
+                            f"ecosystem: live={live.get(section)!r} "
+                            f"restored={restored.get(section)!r}",
+                        )
+                    )
+        finally:
+            manager2.close()
+        return violations
+
+    def _cleanup_durability(self) -> None:
+        import shutil
+
+        if self.eco.durability is not None:
+            self.eco.durability.close()
+        if self._durability_dir is not None:
+            shutil.rmtree(self._durability_dir, ignore_errors=True)
+            self._durability_dir = None
 
     # -- trace normalization --------------------------------------------------
 
@@ -423,6 +507,11 @@ class ConformanceHarness:
                 f"{type(error).__name__}: {error}",
             )
         violations = self.checker.finalize()
+        if self.config.durability:
+            try:
+                violations.extend(self._check_restore_equivalence())
+            finally:
+                self._cleanup_durability()
         # A broken delivery invariant is an anomaly by definition: feed
         # the ecosystem's flight recorder so a failing seed leaves the
         # same JSONL evidence as a production incident.
@@ -478,9 +567,10 @@ def default_matrix(
     base: Optional[ScheduleConfig] = None,
 ) -> List[ScheduleConfig]:
     """The sweep the CI smoke step runs: for every mode and seed, one
-    plain schedule, a crash-recovery variant, and a flow-control
-    variant (coalescing + batched group-commit apply), with broker
-    faults folded into a slice of the seeds."""
+    plain schedule, a crash-recovery variant, a flow-control variant
+    (coalescing + batched group-commit apply), and a durability
+    variant (WAL everything, then prove restore-equivalence), with
+    broker faults folded into a slice of the seeds."""
     base = base or ScheduleConfig()
     configs: List[ScheduleConfig] = []
     for mode in modes or [CAUSAL, GLOBAL, WEAK]:
@@ -506,6 +596,17 @@ def default_matrix(
                     flow=True,
                     faults=faults,
                     crash_recovery=False,
+                )
+            )
+            configs.append(
+                replace(
+                    base,
+                    mode=mode,
+                    seed=seed,
+                    durability=True,
+                    faults=faults,
+                    crash_recovery=False,
+                    flow=False,
                 )
             )
     return configs

@@ -20,6 +20,16 @@ reports checker violations under the same stable invariant names:
   rejected in *both* hazard directions — an intervener that depends on
   a key the survivor increments, and an absorbed write that depends on
   a key an intervener increments.
+- :func:`durability_crash_point_scenario`
+  (``durability.restore-equivalence``): crash the pipeline at each WAL
+  crash point (``after-append`` / ``before-fsync`` / ``before-ack``),
+  abandon the wounded process state, and prove a fresh restore over
+  the same data dir converges the replicas — including the genuine
+  group-commit loss window of the ``interval`` fsync policy.
+- :func:`durability_kill_restart_scenario` (same invariant): the
+  uncatchable version — a child process SIGKILLs *itself* mid-append
+  via a hard crash injector, and the parent restores from the orphaned
+  WAL and audits the replicas back to digest-equality.
 
 The module also pins the *committed schedules* for the two interleaving
 races (generation gate vs in-flight deliveries; ack after
@@ -38,6 +48,7 @@ from repro.broker.message import Message
 from repro.broker.queue import SubscriberQueue
 from repro.errors import QueueDecommissioned
 from repro.runtime.conformance.checker import (
+    INV_DURABLE,
     INV_FLOW,
     INV_IDLE,
     INV_LEAK,
@@ -459,6 +470,248 @@ def flow_coalesce_safety_scenario() -> List[Violation]:
     return violations
 
 
+# -- durability.restore-equivalence: crash points ----------------------------
+
+def _durability_scenario_eco(data_dir: str, fsync: str) -> Tuple[Any, ...]:
+    """A two-service causal pipeline with durability armed into
+    ``data_dir`` — the fixture every crash scenario builds twice: once
+    to wound, once to restore."""
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+
+    eco = Ecosystem()
+    pub = eco.service(
+        "pub", database=MongoLike("pub-db"), delivery_mode="causal"
+    )
+
+    @pub.model(publish=["name", "value"], name="Doc")
+    class PubDoc(Model):
+        name = Field(str)
+        value = Field(int, default=0)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(
+        subscribe={"from": "pub", "fields": ["name", "value"], "mode": "causal"},
+        name="Doc",
+    )
+    class SubDoc(Model):
+        name = Field(str)
+        value = Field(int, default=0)
+
+    manager = eco.enable_durability(data_dir=data_dir, fsync=fsync, group_max=4)
+    return eco, pub, sub, manager, PubDoc
+
+
+def durability_crash_point_scenario(
+    point: str, writes: int = 8
+) -> List[Violation]:
+    """Crash at one WAL crash point, then prove restore convergence.
+
+    Ecosystem A publishes causal writes (and, for ``before-ack``,
+    drains) with a :class:`CrashInjector` armed at ``point``; the
+    injected :class:`SimulatedCrash` abandons it mid-flight — unacked
+    deliveries popped, file handle open, no clean close or snapshot.
+    ``before-fsync`` runs the ``interval`` policy and then drops the
+    unsynced group-commit buffer, modelling the real loss window.
+    Ecosystem B restores over the same data dir; the replicas must
+    converge to digest-equality (directly, or via targeted repair for
+    the writes the loss window genuinely discarded)."""
+    import shutil
+    import tempfile
+
+    from repro.durability.wal import (
+        FSYNC_INTERVAL,
+        FSYNC_OFF,
+        CrashInjector,
+        SimulatedCrash,
+    )
+
+    fsync = FSYNC_INTERVAL if point == "before-fsync" else FSYNC_OFF
+    after = 1 if point == "before-fsync" else 3
+    data_dir = tempfile.mkdtemp(prefix="repro-conf-crash-")
+    violations: List[Violation] = []
+    manager_b = None
+    try:
+        eco_a, pub_a, sub_a, manager_a, doc_cls = _durability_scenario_eco(
+            data_dir, fsync
+        )
+        manager_a.wal.injector = CrashInjector(point, after_records=after)
+        crashed = False
+        try:
+            for i in range(writes):
+                with pub_a.controller():
+                    doc_cls.create(name=f"doc-{i}", value=i)
+            sub_a.subscriber.drain()
+        except SimulatedCrash:
+            crashed = True
+        if not crashed:
+            violations.append(
+                Violation(
+                    INV_DURABLE,
+                    f"crash injector at {point!r} never fired — the "
+                    "scenario exercised nothing",
+                )
+            )
+            return violations
+        manager_a.wal.injector = None
+        lost = manager_a.wal.drop_buffered_tail()
+        # Ecosystem A is abandoned unclosed: that is what a crash means.
+
+        eco_b, pub_b, sub_b, manager_b, _ = _durability_scenario_eco(
+            data_dir, fsync
+        )
+        report = manager_b.restore()
+        if report.unrecoverable:
+            violations.append(
+                Violation(
+                    INV_DURABLE,
+                    f"restore after a {point!r} crash reported "
+                    f"unrecoverable: {report.error}",
+                )
+            )
+            return violations
+        sub_b.subscriber.drain()
+        audit = sub_b.audit_replication()
+        if not audit.in_sync:
+            result = sub_b.repair_replication(report=audit)
+            if not result.verified_in_sync:
+                violations.append(
+                    Violation(
+                        INV_DURABLE,
+                        f"replicas still divergent after a {point!r} crash, "
+                        f"restore (replayed={report.replayed}, "
+                        f"lost={lost} buffered records) and targeted repair",
+                    )
+                )
+    finally:
+        if manager_b is not None:
+            manager_b.close()
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return violations
+
+
+def _durability_kill_child(data_dir: str, conn: Any) -> None:
+    """Child half of the kill-restart scenario: WAL with a *hard*
+    injector armed, so the Nth append SIGKILLs this process mid-write.
+    Anything sent over ``conn`` is a failure diagnostic — a healthy run
+    dies before reaching it."""
+    from repro.durability.wal import CrashInjector
+
+    try:
+        eco, pub, sub, manager, doc_cls = _durability_scenario_eco(
+            data_dir, "off"
+        )
+        manager.wal.injector = CrashInjector(
+            "after-append", after_records=9, hard=True
+        )
+        for i in range(64):
+            with pub.controller():
+                doc_cls.create(name=f"kill-{i}", value=i)
+        conn.send(("survived", None))
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+
+
+def durability_kill_restart_scenario(timeout: float = 30.0) -> List[Violation]:
+    """The uncatchable crash: a child process dies by genuine SIGKILL
+    mid-append, and the parent restores from the orphaned data dir.
+
+    No ``finally`` blocks run in the child, no buffers get the chance
+    to flush politely — exactly the failure the WAL exists for. The
+    parent verifies the death was really ``-SIGKILL`` (a clean exit
+    means the injector never fired), then restores, drains, and audits
+    the replicas to digest-equality."""
+    import multiprocessing
+    import shutil
+    import signal
+    import tempfile
+
+    data_dir = tempfile.mkdtemp(prefix="repro-conf-kill-")
+    violations: List[Violation] = []
+    manager = None
+    try:
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_durability_kill_child,
+            args=(data_dir, child_conn),
+            name="conformance-kill-child",
+        )
+        process.start()
+        child_conn.close()
+        process.join(timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(5.0)
+            violations.append(
+                Violation(
+                    INV_DURABLE,
+                    f"kill-restart child hung past {timeout:.0f}s instead "
+                    "of dying at its crash point",
+                )
+            )
+            return violations
+        if process.exitcode != -signal.SIGKILL:
+            detail = ""
+            if parent_conn.poll(0):
+                try:
+                    detail = f" ({parent_conn.recv()})"
+                except EOFError:
+                    pass
+            violations.append(
+                Violation(
+                    INV_DURABLE,
+                    f"child exited {process.exitcode} instead of dying by "
+                    f"SIGKILL{detail}",
+                )
+            )
+            return violations
+
+        eco, pub, sub, manager, _ = _durability_scenario_eco(data_dir, "off")
+        report = manager.restore()
+        if report.unrecoverable:
+            violations.append(
+                Violation(
+                    INV_DURABLE,
+                    f"restore after SIGKILL reported unrecoverable: "
+                    f"{report.error}",
+                )
+            )
+            return violations
+        if not report.replayed and report.snapshot_id is None:
+            violations.append(
+                Violation(
+                    INV_DURABLE,
+                    "restore after SIGKILL recovered nothing: no snapshot "
+                    "and an empty WAL tail",
+                )
+            )
+            return violations
+        sub.subscriber.drain()
+        audit = sub.audit_replication()
+        if not audit.in_sync:
+            result = sub.repair_replication(report=audit)
+            if not result.verified_in_sync:
+                violations.append(
+                    Violation(
+                        INV_DURABLE,
+                        "replicas still divergent after SIGKILL, restore "
+                        f"(replayed={report.replayed}) and targeted repair",
+                    )
+                )
+    finally:
+        if manager is not None:
+            manager.close()
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return violations
+
+
 def run_directed_scenarios() -> Dict[str, List[Violation]]:
     """All directed scenarios; the CLI runs these before sweeping."""
     return {
@@ -466,4 +719,11 @@ def run_directed_scenarios() -> Dict[str, List[Violation]]:
         "fleet.idle-deadline": fleet_idle_deadline_scenario(),
         "drain.no-leaked-deliveries": drain_leak_scenario(),
         "flow.unsafe-coalesce-rejected": flow_coalesce_safety_scenario(),
+        "durability.crash-after-append":
+            durability_crash_point_scenario("after-append"),
+        "durability.crash-before-fsync":
+            durability_crash_point_scenario("before-fsync"),
+        "durability.crash-before-ack":
+            durability_crash_point_scenario("before-ack"),
+        "durability.kill-restart": durability_kill_restart_scenario(),
     }

@@ -180,6 +180,22 @@ class QueueFlow:
                 del self._shed_deficits[app]
             return forgiven
 
+    def shed_ledger(self) -> Dict[str, Dict[str, int]]:
+        """Copy of the full shed-deficit ledger (durability snapshots)."""
+        with self._shed_lock:
+            return {
+                app: dict(ledger)
+                for app, ledger in self._shed_deficits.items()
+            }
+
+    def restore_shed(self, ledgers: Dict[str, Dict[str, int]]) -> None:
+        """Adopt a restored shed-deficit ledger (crash recovery) —
+        replacing wholesale: the WAL logs post-state ledgers."""
+        with self._shed_lock:
+            self._shed_deficits = {
+                app: dict(ledger) for app, ledger in ledgers.items()
+            }
+
     def publish_delay(self) -> float:
         """How long the broker should stall a publish right now —
         deeper into the red zone means a longer stall."""

@@ -30,13 +30,19 @@ def _build_demo_ecosystem() -> Tuple[Any, Any, Any, type]:
 
     from repro.runtime.flow import FlowConfig
 
+    import tempfile
+
     eco = Ecosystem()
     # Production posture: always-on tracing, every message sampled (the
     # demo workload is tiny), exemplars armed by the SLO below. Flow
     # control is on with an explicit capacity so the ``flow.*`` gauges
-    # and counters are live in every exposition round.
+    # and counters are live in every exposition round, and durability
+    # WALs into a throwaway dir so the ``durability.*`` row is live too.
     eco.enable_tracing(sample_rate=1.0)
     eco.enable_flow(FlowConfig(capacity=256))
+    eco.enable_durability(
+        data_dir=tempfile.mkdtemp(prefix="repro-watch-"), snapshot_every=256
+    )
     eco.monitor.set_slo("pub", "sub", LinkSLO(p99_lag=0.5, stall_after=5.0))
     pub = eco.service("pub", database=MongoLike("pub-db"))
 
@@ -99,6 +105,18 @@ def _render_round(eco: Any, round_no: int) -> List[str]:
         f"shed={_flow_sum('.shed')} "
         f"coalesced={_flow_sum('.coalesced')} "
         f"batches={int(batch_counts)}"
+    )
+    def _durability(suffix: str) -> int:
+        value = snapshot.get(f"durability.{suffix}", 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    lines.append(
+        "  durability: "
+        f"appends={_durability('wal.appends')} "
+        f"fsyncs={_durability('wal.fsyncs')} "
+        f"segments={_durability('wal.segments')} "
+        f"bytes={_durability('wal.bytes')} "
+        f"snapshots={_durability('snapshot.count')}"
     )
     anomalies = eco.recorder.anomalies()
     lines.append(

@@ -25,6 +25,7 @@ functions (the spawn start method pickles them by reference).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -63,6 +64,7 @@ def _shard_main(
     verify: Optional[Callable[[Any, str], Dict[str, Any]]],
     command_conn: Any,
     peer_conns: Dict[str, Any],
+    durability_dir: Optional[str] = None,
 ) -> None:
     """Worker-process entry point: build, wire the seams, serve commands."""
     try:
@@ -93,6 +95,22 @@ def _shard_main(
             lambda sub: owner_of.get(sub, shard_name) == shard_name,
             lambda sub, payload: links[owner_of[sub]].send_data(sub, payload),
         )
+        # Durability: each shard logs to its own WAL directory (the
+        # crash unit is the process), and restores whatever a previous
+        # incarnation of this shard left behind before accepting work.
+        durability = None
+        restored: Optional[Dict[str, Any]] = None
+        if durability_dir is not None:
+            shard_dir = os.path.join(durability_dir, shard_name)
+            durability = ecosystem.enable_durability(data_dir=shard_dir)
+            report = durability.restore()
+            restored = {
+                "snapshot_id": report.snapshot_id,
+                "replayed": report.replayed,
+                "requeued": report.requeued,
+                "applied": report.applied,
+                "unrecoverable": report.unrecoverable,
+            }
     except Exception as exc:  # startup failure: report, don't hang the parent
         command_conn.send(("error", f"{type(exc).__name__}: {exc}"))
         return
@@ -114,6 +132,12 @@ def _shard_main(
                 command_conn.send(("verified", result))
             elif kind == "finish":
                 _drain_local(ecosystem)
+                if durability is not None:
+                    # Clean shutdown: checkpoint so the next incarnation
+                    # restores from a snapshot instead of a full replay.
+                    durability.snapshot()
+                    durability.close()
+                    durability = None
                 command_conn.send(("result", {
                     "shard": shard_name,
                     "owned": sorted(owned),
@@ -122,6 +146,7 @@ def _shard_main(
                     "forwarded": sum(l.data_sent for l in links.values()),
                     "delivered": sum(l.data_received for l in links.values()),
                     "anomalies": len(ecosystem.recorder.anomalies()),
+                    "restored": restored,
                 }))
                 break
             else:
@@ -158,6 +183,7 @@ class ShardRunner:
         scenario: Optional[Callable[[Any, str], Dict[str, Any]]] = None,
         verify: Optional[Callable[[Any, str], Dict[str, Any]]] = None,
         timeout: float = 60.0,
+        durability_dir: Optional[str] = None,
     ) -> None:
         if len(placement) < 1:
             raise ValueError("placement needs at least one shard")
@@ -167,6 +193,9 @@ class ShardRunner:
         self.scenario = scenario
         self.verify = verify
         self.timeout = timeout
+        #: When set, each shard WALs to ``<durability_dir>/<shard>/`` and
+        #: restores from it on startup (docs/durability.md).
+        self.durability_dir = durability_dir
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -240,7 +269,8 @@ class ShardRunner:
                 target=_shard_main,
                 name=f"shard-{name}",
                 args=(name, self.builder, self.placement, self.scenario,
-                      self.verify, child_end, peer_conns[name]),
+                      self.verify, child_end, peer_conns[name],
+                      self.durability_dir),
             )
         started = time.monotonic()
         results: Dict[str, Any] = {name: {} for name in shards}

@@ -180,6 +180,7 @@ class SubscriberWorkerPool:
             with self._active_lock:
                 self._active += 1
             try:
+                errored = False
                 try:
                     done = subscriber.process_message(
                         message, wait_timeout=self.wait_timeout
@@ -190,13 +191,20 @@ class SubscriberWorkerPool:
                     self._apply_errors.increment()
                     self._reg_apply_errors.increment()
                     done = False
+                    errored = True
                 try:
                     if done:
                         queue.ack(message)
                     elif message.delivery_count >= self.max_deliveries:
                         self._give_up(subscriber, queue, message)
-                    else:
+                    elif errored:
                         queue.nack(message)
+                    else:
+                        # Dependency stall: the predecessor is behind
+                        # this message in the queue, so rotate to the
+                        # back (nacking to the front would re-pop the
+                        # same message while the predecessor starves).
+                        queue.defer(message)
                 except QueueDecommissioned:
                     # The queue died while this delivery was in flight
                     # (its ack/nack is a tolerated no-op). Route the
@@ -245,11 +253,20 @@ class SubscriberWorkerPool:
                     self._apply_errors.increment(errors)
                     self._reg_apply_errors.increment(errors)
                 try:
+                    # A batch that applied nothing and raised nothing
+                    # stalled purely on dependency waits: its missing
+                    # predecessors are behind it in the queue. Rotate
+                    # such batches to the back (defer) so the chain
+                    # head surfaces; partially-applied batches made
+                    # progress and retry at the front as before.
+                    stalled = not done and not errors and retry
                     for message in done:
                         queue.ack(message)
                     for message in retry:
                         if message.delivery_count >= self.max_deliveries:
                             self._give_up(subscriber, queue, message)
+                        elif stalled:
+                            queue.defer(message)
                         else:
                             queue.nack(message)
                 except QueueDecommissioned:

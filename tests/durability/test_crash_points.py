@@ -1,0 +1,29 @@
+"""Crash-point conformance: the directed scenarios, as tier-1 tests.
+
+Each scenario wounds a durable pipeline at one WAL crash point
+(in-process SimulatedCrash, or a genuine self-SIGKILL in a child
+process) and asserts a restore over the same data dir converges the
+replicas. The scenarios themselves live in the conformance harness so
+``python -m repro conformance`` runs them too; these tests pin them
+into the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.conformance.scenarios import (
+    durability_crash_point_scenario,
+    durability_kill_restart_scenario,
+)
+
+
+@pytest.mark.parametrize("point", ["after-append", "before-fsync", "before-ack"])
+def test_crash_point_restores_convergent(point):
+    violations = durability_crash_point_scenario(point)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_genuine_sigkill_then_restart_converges():
+    violations = durability_kill_restart_scenario()
+    assert violations == [], [str(v) for v in violations]

@@ -1,0 +1,139 @@
+"""``SubscriberQueue.defer`` and the worker pools' stall rotation.
+
+``nack`` returns a message to the *front* of the queue — right for
+apply errors (retry where you stood), fatal for pure dependency stalls:
+when the predecessor of a causal chain sits *behind* the nacked message,
+front-requeue re-pops the same message forever while the predecessor
+starves (the worker-pool livelock this rotation fixed). ``defer``
+returns the message to the *back*, so every queued message surfaces
+within one queue revolution.
+"""
+
+from __future__ import annotations
+
+from repro.broker.message import Message
+from repro.broker.queue import SubscriberQueue
+from repro.core import Ecosystem
+from repro.databases.document import MongoLike
+from repro.databases.relational import PostgresLike
+from repro.orm import Field, Model
+from repro.runtime.flow import FlowConfig
+from repro.runtime.workers import SubscriberWorkerPool
+
+
+def make_message(seq):
+    return Message(
+        app="pub", operations=[], dependencies={}, published_at=0.0,
+        uid=f"pub:{seq}",
+    )
+
+
+class TestQueueDefer:
+    def test_defer_returns_message_to_the_back(self):
+        queue = SubscriberQueue("sub")
+        queue.publish(make_message(1))
+        queue.publish(make_message(2))
+        first = queue.pop(timeout=0)
+        assert first.uid == "pub:1"
+        queue.defer(first)
+        assert queue.pop(timeout=0).uid == "pub:2"
+        assert queue.pop(timeout=0).uid == "pub:1"
+
+    def test_nack_still_returns_message_to_the_front(self):
+        queue = SubscriberQueue("sub")
+        queue.publish(make_message(1))
+        queue.publish(make_message(2))
+        first = queue.pop(timeout=0)
+        queue.nack(first)
+        assert queue.pop(timeout=0).uid == "pub:1"
+
+    def test_defer_clears_the_unacked_slot(self):
+        queue = SubscriberQueue("sub")
+        queue.publish(make_message(1))
+        message = queue.pop(timeout=0)
+        assert queue.unacked_count == 1
+        queue.defer(message)
+        assert queue.unacked_count == 0
+        assert len(queue) == 1
+
+    def test_defer_of_unknown_delivery_is_tolerated(self):
+        queue = SubscriberQueue("sub")
+        queue.publish(make_message(1))
+        message = queue.pop(timeout=0)
+        queue.ack(message)
+        queue.defer(message)  # stale defer after an ack: no-op
+        assert len(queue) == 0
+        assert queue.unacked_count == 0
+
+    def test_defer_on_decommissioned_queue_is_tolerated(self):
+        queue = SubscriberQueue("sub", max_size=2)
+        queue.publish(make_message(1))
+        message = queue.pop(timeout=0)
+        for seq in range(2, 6):
+            queue.publish(make_message(seq))  # past the kill cliff
+        assert queue.decommissioned
+        queue.defer(message)  # must not raise, must not resurrect
+
+
+class TestWorkerStallRotation:
+    def _chain_ecosystem(self, **flow_kwargs):
+        eco = Ecosystem()
+        if flow_kwargs:
+            eco.enable_flow(FlowConfig(**flow_kwargs))
+        pub = eco.service(
+            "pub", database=MongoLike("pub-db"), delivery_mode="causal"
+        )
+
+        @pub.model(publish=["name", "score"], name="Doc")
+        class Doc(Model):
+            name = Field(str)
+            score = Field(int, default=0)
+
+        sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+        @sub.model(
+            subscribe={
+                "from": "pub", "fields": ["name", "score"], "mode": "causal"
+            },
+            name="Doc",
+        )
+        class SubDoc(Model):
+            name = Field(str)
+            score = Field(int, default=0)
+
+        return eco, pub, sub, Doc, SubDoc
+
+    def test_deep_chain_drains_with_single_message_workers(self):
+        eco, pub, sub, Doc, SubDoc = self._chain_ecosystem()
+        with pub.controller():
+            docs = [Doc.create(name=f"d{i}", score=i) for i in range(40)]
+        pool = SubscriberWorkerPool(
+            sub, workers=3, wait_timeout=0.1, max_deliveries=10_000
+        )
+        assert pool._flow is None
+        with pool:
+            assert pool.wait_until_idle(timeout=20)
+        assert pool.deadlocked_messages == 0
+        for doc in docs:
+            assert SubDoc.__mapper__.find(doc.id) is not None
+
+    def test_deep_chain_drains_with_batched_workers(self):
+        """The livelock regression: a 40-deep causal chain, multiple
+        batched workers, and AIMD-shrunk batches used to cycle
+        pop -> dependency wait -> nack-to-front forever once the chain
+        head sank behind nacked later messages. Stall rotation (defer)
+        guarantees the head surfaces within one revolution."""
+        eco, pub, sub, Doc, SubDoc = self._chain_ecosystem(
+            batch_apply=True, batch_max=8
+        )
+        with pub.controller():
+            docs = [Doc.create(name=f"d{i}", score=i) for i in range(40)]
+        pool = SubscriberWorkerPool(
+            sub, workers=3, wait_timeout=0.1, max_deliveries=10_000
+        )
+        assert pool._flow is not None
+        with pool:
+            assert pool.wait_until_idle(timeout=20)
+        assert pool.deadlocked_messages == 0
+        for doc in docs:
+            assert SubDoc.__mapper__.find(doc.id) is not None
