@@ -27,6 +27,12 @@ Commands:
         kill cliff, then a hot-object update storm coalesce and drain
         through batched group-committed applies; exits 0 iff shedding
         and coalescing both happened and the queue survived
+    views --demo [--writes N]
+        subscriber read-path demo: derived read models (count, sum,
+        top-k, per-author feeds) maintained incrementally in the apply
+        path behind a versioned cache; checks every aggregate against
+        full recomputation (INV_VIEW), exercises miss/hit/invalidate,
+        and kill-and-restarts to prove the restore rebuild is exact
     shard --demo [--operations N] [--timeout S]
         process-sharded runtime demo: two worker processes each own
         half of a six-service social ecosystem; write messages bound
@@ -237,6 +243,10 @@ def main(argv: list) -> int:
         from repro.runtime.flow.demo import flow_command
 
         return flow_command(args)
+    if command == "views":
+        from repro.views.demo import views_command
+
+        return views_command(args)
     if command == "shard":
         from repro.runtime.transport.demo import shard_command
 

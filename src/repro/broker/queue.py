@@ -280,6 +280,12 @@ class SubscriberQueue:
                 if message.trace is not None:
                     message.trace.mark(MARK_ENQUEUED)
                 self._items.append(message)
+                if self.durability is not None:
+                    # The rotation is durable state: restore rebuilds the
+                    # queue from pub records (original publish order), so
+                    # an unlogged defer would resurrect the chain-head-
+                    # buried ordering this rotation just fixed.
+                    self.durability.log_defer(self.name, message)
                 self._available.notify()
         if tolerated:
             yield_point("queue.defer.tolerated", queue=self.name, message=message)

@@ -273,6 +273,9 @@ class Service:
         )
         self.publisher = SynapsePublisher(self)
         self.subscriber = SynapseSubscriber(self)
+        #: ViewManager once :meth:`enable_views` has run; None keeps the
+        #: apply path byte-for-byte (no extra engine reads, no cache).
+        self.views = None
         if database is not None:
             # Engine op-stats feed the shared registry (engine.<name>.*).
             database.bind_metrics(ecosystem.metrics)
@@ -433,6 +436,26 @@ class Service:
     def background_job(self) -> controller_scope:
         """Sidekiq-style job scope: same tracking, no user session."""
         return controller_scope(self, user=None)
+
+    # ------------------------------------------------------------------
+    # Read side: derived views + cache tier (docs/read_path.md)
+    # ------------------------------------------------------------------
+
+    def enable_views(self, cache: Optional[Any] = None,
+                     kv: Optional[Any] = None) -> Any:
+        """Switch on the subscriber-side read path for this service and
+        return its :class:`~repro.views.ViewManager`.
+
+        Declared views are maintained in the apply path (once per
+        batch under batched apply) and the replicated cache's per-key
+        version watermarks advance with every landed write, so a
+        cached read is never staler than the applied causal frontier.
+        Idempotent: a second call returns the same manager."""
+        if self.views is None:
+            from repro.views import ViewManager
+
+            self.views = ViewManager(self, cache=cache, kv=kv)
+        return self.views
 
     # ------------------------------------------------------------------
     # Remote-application guard (subscriber persisting remote updates)

@@ -439,7 +439,13 @@ class SynapseSubscriber:
         batch_start = trace_now()
         completed: List[Tuple[Message, Dict[str, Any]]] = []
         errors = 0
+        views = self.service.views
         if use_tx:
+            # Views buffer the whole group commit and fold once after it
+            # lands, so each derived aggregate updates — and each cache
+            # key invalidates — once per batch, never mid-transaction.
+            if views is not None:
+                views.begin_batch()
             try:
                 with db.begin():
                     for message, kind in eligible:
@@ -447,10 +453,18 @@ class SynapseSubscriber:
                             (message, self._apply_in_batch(message, kind))
                         )
             except Exception:
+                # The engine rolled back: drop the buffered transitions
+                # before redo re-lands the writes (redo re-enters
+                # on_applied with fresh post-rollback row states).
+                if views is not None:
+                    views.abort_batch()
                 errors = 1
                 landed = {id(message) for message, _ in completed}
                 retry.extend(m for m in batch if id(m) not in landed)
                 self._redo_after_rollback(completed)
+            else:
+                if views is not None:
+                    views.commit_batch()
         else:
             for message, kind in eligible:
                 try:
@@ -574,9 +588,19 @@ class SynapseSubscriber:
             and getattr(db, "supports_transactions", False)
             and db.current_transaction() is None
         ):
-            with db.begin():
-                for operation in message.operations:
-                    self._apply_operation(message.app, operation)
+            views = self.service.views
+            if views is not None:
+                views.begin_batch()
+            try:
+                with db.begin():
+                    for operation in message.operations:
+                        self._apply_operation(message.app, operation)
+            except Exception:
+                if views is not None:
+                    views.abort_batch()
+                raise
+            if views is not None:
+                views.commit_batch()
             return
         for operation in message.operations:
             self._apply_operation(message.app, operation)
@@ -767,6 +791,20 @@ class SynapseSubscriber:
             if remote in operation["attributes"]
         }
         service = self.service
+        # Read-path hook (docs/read_path.md): views need the row state
+        # around the write — raw mapper reads, so neither capture fires
+        # callbacks or read-dependency tracking. The pre-write state is
+        # read only when an aggregate actually depends on this model.
+        views = service.views
+        track = (
+            views is not None
+            and not spec.observer
+            and model_cls.__mapper__ is not None
+            and model_cls.__mapper__.db is not None
+        )
+        old_row = None
+        if track and views.needs_old_row(model_cls.__name__):
+            old_row = model_cls.__mapper__._do_find(operation["id"])
         with service.applying_remote_scope(model_cls.__name__, operation["id"]), \
                 model_cls._suspend_readonly_guard():
             if spec.observer:
@@ -780,6 +818,11 @@ class SynapseSubscriber:
                 for name, value in attrs.items():
                     setattr(instance, name, value)
                 instance.save()
+        if track:
+            new_row = model_cls.__mapper__._do_find(operation["id"])
+            views.on_applied(
+                model_cls.__name__, operation["id"], old_row, new_row
+            )
 
     @staticmethod
     def _apply_to_observer(

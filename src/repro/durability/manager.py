@@ -13,6 +13,7 @@ that orders the transition, so WAL order equals effect order:
 ``coal``   flow control merged a publish into a queued survivor
            (post-merge survivor payload — idempotent replace)
 ``shed``   flow control shed a weak publish (post-state deficit ledger)
+``defer``  a worker rotated a dependency-stalled delivery to the back
 ``ack``    a delivery completed
 ``decom``  the queue hit its §4.4 kill cliff / ``recom`` recommission
 ``apply``  a subscriber finished applying a message
@@ -172,24 +173,53 @@ class DurabilityManager:
     def log_coal(self, queue_name: str, survivor: Message) -> None:
         if self._restoring:
             return
+        # ``absorbed`` lists every uid the survivor has merged so far.
+        # Replay must drop those from pending: an absorbed message whose
+        # ``pub`` record is also in the log would otherwise be
+        # re-injected on every restore, carrying dependency increments
+        # the survivor already merged (dep-wait wedges or double-applied
+        # counter bumps under causal/global delivery).
         self._append(
             {"t": "coal", "q": queue_name, "uid": survivor.uid,
-             "m": wire_payload(survivor)}
+             "m": wire_payload(survivor),
+             "absorbed": list(survivor.coalesced_uids)}
         )
 
     def log_shed(self, queue_name: str, message: Message, flow: Any) -> None:
         """Post-state of the shed-deficit ledger for the message's app —
-        an idempotent replace on replay."""
+        an idempotent replace on replay.
+
+        The append happens *inside* ``flow._shed_lock``: snapshotting
+        the ledger under the lock but appending after releasing it lets
+        a concurrent ledger writer (another shed, or an audit thread's
+        ``reconcile_shed`` trim) slip its own record in between, so two
+        records land in inverted order and last-writer-wins replay
+        restores the stale ledger. Holding the lock across the append
+        makes WAL order equal ledger-mutation order."""
         if self._restoring:
             return
-        ledger: Dict[str, int] = {}
-        if flow is not None:
-            with flow._shed_lock:
-                ledger = dict(flow._shed_deficits.get(message.app, {}))
-        self._append(
-            {"t": "shed", "q": queue_name, "app": message.app,
-             "ledger": ledger}
-        )
+        if flow is None:
+            self._append(
+                {"t": "shed", "q": queue_name, "app": message.app,
+                 "ledger": {}}
+            )
+            return
+        with flow._shed_lock:
+            ledger = dict(flow._shed_deficits.get(message.app, {}))
+            self._append(
+                {"t": "shed", "q": queue_name, "app": message.app,
+                 "ledger": ledger}
+            )
+
+    def log_defer(self, queue_name: str, message: Message) -> None:
+        """A worker rotated a dependency-stalled delivery to the back of
+        the queue. Without this record restore rebuilds the queue in
+        original publish order, resurrecting the exact chain-head-buried
+        ordering the rotation had already fixed — the restored workers
+        would have to rediscover every defer before draining."""
+        if self._restoring:
+            return
+        self._append({"t": "defer", "q": queue_name, "uid": message.uid})
 
     def log_ack(self, queue_name: str, message: Message) -> None:
         if self._restoring:
@@ -383,6 +413,15 @@ class DurabilityManager:
             self._requeued.increment(report.requeued)
             self._restored_applies.increment(report.applied)
             _advance_message_seq(max_seq)
+            # Derived read models are not snapshotted: WAL replay lands
+            # raw engine writes without the subscriber's view hook, so
+            # any service with declared views rebuilds them from the
+            # restored base rows (deterministic, and self-auditing
+            # against INV_VIEW).
+            for service in self.ecosystem.local_services():
+                views = getattr(service, "views", None)
+                if views is not None:
+                    views.rebuild()
             if replay_error is not None:
                 report.unrecoverable = True
                 report.error = str(replay_error)
@@ -504,6 +543,27 @@ class DurabilityManager:
             entries = pending.get(rec["q"], {})
             if rec["uid"] in entries:
                 entries[rec["uid"]] = rec["m"]
+            # Absorbed messages ride inside the survivor now; any of
+            # them still pending (its own ``pub`` record replayed
+            # earlier) would be re-injected as a duplicate carrying
+            # increments the survivor already merged.
+            for absorbed_uid in rec.get("absorbed", []):
+                if absorbed_uid == rec["uid"]:
+                    continue
+                if entries.pop(absorbed_uid, None) is not None:
+                    counters = stats.setdefault(
+                        rec["q"], {"published": 0, "acked": 0}
+                    )
+                    counters["published"] = max(
+                        0, counters.get("published", 0) - 1
+                    )
+        elif kind == "defer":
+            entries = pending.get(rec["q"], {})
+            payload = entries.pop(rec["uid"], None)
+            if payload is not None:
+                # Rotate to the back: pending dicts are insertion-
+                # ordered, and re-injection follows that order.
+                entries[rec["uid"]] = payload
         elif kind == "shed":
             shed.setdefault(rec["q"], {})[rec["app"]] = dict(rec["ledger"])
         elif kind == "ack":

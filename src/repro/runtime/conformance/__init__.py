@@ -26,6 +26,7 @@ from repro.runtime.conformance.checker import (
     INV_LEAK,
     INV_MONOTONE,
     INV_POP,
+    INV_VIEW,
     INV_WEAK,
     INV_WORKER,
     DeliveryChecker,
@@ -69,6 +70,7 @@ __all__ = [
     "INV_MONOTONE",
     "INV_POP",
     "INV_QUIESCENCE",
+    "INV_VIEW",
     "INV_WEAK",
     "INV_WORKER",
 ]

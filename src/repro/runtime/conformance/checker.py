@@ -36,6 +36,10 @@ Invariant identifiers (stable, used by tests and the CLI):
   weak-mode publishes (causal/global messages carry dependency bumps
   downstream messages wait on; shedding one wedges the stream), and
   every coalesced-away message is accounted through its survivor.
+- ``views.read-freshness`` — a cache hit is never served at a version
+  older than the key's last invalidation (no cached read is staler
+  than an applied write), and at quiescence every derived read model
+  equals a from-scratch recomputation over the base rows.
 """
 
 from __future__ import annotations
@@ -58,6 +62,7 @@ INV_IDLE = "fleet.idle-deadline"
 INV_LEAK = "drain.no-leaked-deliveries"
 INV_FLOW = "flow.admission-safety"
 INV_DURABLE = "durability.restore-equivalence"
+INV_VIEW = "views.read-freshness"
 
 
 @dataclass
@@ -102,6 +107,13 @@ class DeliveryChecker:
         self.tolerated_acks = 0
         self.tolerated_nacks = 0
         self.queue_decommissioned = False
+        #: Set by the harness when the schedule runs with views: the
+        #: quiescent aggregate check compares incremental vs recomputed.
+        self.views: Optional[Any] = None
+        #: key -> latest invalidation version (the applied frontier).
+        self.cache_frontier: Dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._counter_floor: Dict[str, int] = {}
         self._weak_applied: Dict[str, int] = {}
         self._last_global_version: Optional[int] = None
@@ -173,6 +185,38 @@ class DeliveryChecker:
         message, survivor = info["message"], info["into"]
         self.entered.setdefault(message.uid, _MessageFate(message))
         self.coalesced_into[message.uid] = survivor.uid
+
+    # -- read path (views + cache) --------------------------------------------
+
+    def _on_cache_invalidate(self, info: Dict[str, Any]) -> None:
+        """The apply path advanced a key's watermark: every cached
+        entry below it is now unservable. Invalidation events are
+        emitted inside the cache's atomic KV script, so event order
+        here equals version order."""
+        key, version = info["key"], info["version"]
+        self.cache_frontier[key] = max(
+            self.cache_frontier.get(key, 0), version
+        )
+
+    def _on_cache_read(self, info: Dict[str, Any]) -> None:
+        """A *hit* served a cached entry at ``version``; serving below
+        the key's invalidation frontier means a reader observed state
+        older than a write the subscriber already applied. Misses load
+        from the authoritative store and may *fill* stale (the next
+        read reloads) — only what is served is checked."""
+        key, version, hit = info["key"], info["version"], info["hit"]
+        if not hit:
+            self.cache_misses += 1
+            return
+        self.cache_hits += 1
+        frontier = self.cache_frontier.get(key, 0)
+        if version < frontier:
+            self.violation(
+                INV_VIEW,
+                f"cache hit on {key!r} served version {version} below the "
+                f"invalidation frontier {frontier} — a cached read is "
+                "staler than an already-applied write",
+            )
 
     # -- apply-side invariants -----------------------------------------------
 
@@ -338,4 +382,20 @@ class DeliveryChecker:
                         "applied, given up on, or decommissioned away",
                     )
                 )
+        if self.views is not None:
+            # The aggregate half of INV_VIEW: after quiescence every
+            # incrementally maintained view must equal the same
+            # projection recomputed from a full base-row scan.
+            for spec in self.views.specs():
+                incremental = self.views.canonical(spec.name)
+                recomputed = self.views.recompute_canonical(spec.name)
+                if incremental != recomputed:
+                    self.violations.append(
+                        Violation(
+                            INV_VIEW,
+                            f"view {spec.name!r} diverged from recomputation: "
+                            f"incremental={incremental!r} "
+                            f"recomputed={recomputed!r}",
+                        )
+                    )
         return self.violations

@@ -62,6 +62,7 @@ def conformance_command(args: List[str]) -> int:
         hash_space=_int_flag(args, "--hash-space", None),
         flow="--flow" in args,
         durability="--durability" in args,
+        views="--views" in args,
     )
 
     if seed is not None:
@@ -101,7 +102,7 @@ def conformance_command(args: List[str]) -> int:
     print(
         f"sweeping {len(configs)} schedules "
         f"({seeds} seeds x {len(modes)} modes, "
-        "plain + crash-recovery + flow + durability):"
+        "plain + crash-recovery + flow + durability + views):"
     )
     checked = 0
     for config in configs:

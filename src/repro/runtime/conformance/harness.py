@@ -67,6 +67,12 @@ class ScheduleConfig:
     #: ecosystem restores from it — restored state must be
     #: byte-equivalent to the live one (``durability.restore-equivalence``).
     durability: bool = False
+    #: Enable the read path: the subscriber maintains derived views
+    #: behind the versioned cache, a dedicated reader worker races
+    #: cache-aside reads against the apply stream, and the checker
+    #: asserts ``views.read-freshness`` (no stale cached read; at
+    #: quiescence every aggregate equals recomputation).
+    views: bool = False
     max_steps: int = 50_000
 
     def describe(self) -> str:
@@ -83,6 +89,8 @@ class ScheduleConfig:
             extras.append("flow")
         if self.durability:
             extras.append("durability")
+        if self.views:
+            extras.append("views")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"mode={self.mode} seed={self.seed}{suffix}"
 
@@ -124,6 +132,8 @@ class ScheduleResult:
             parts.append("--flow")
         if self.config.durability:
             parts.append("--durability")
+        if self.config.views:
+            parts.append("--views")
         return " ".join(parts)
 
 
@@ -164,6 +174,8 @@ class ConformanceHarness:
         self.trace_lines: List[str] = []
         self._build_ecosystem()
         self.checker = DeliveryChecker(self.sub.subscriber)
+        if config.views:
+            self.checker.views = self.sub.views
         self.scheduler = InterleavingScheduler(
             seed=config.seed, max_steps=config.max_steps
         )
@@ -217,6 +229,13 @@ class ConformanceHarness:
             # comes from the queue limit (admission stays off on
             # unbounded queues, coalescing/batching still exercise).
             eco.enable_flow(FlowConfig(batch_max=3, throttle_delay=0.0))
+        if config.views:
+            from repro.views import CountView, SumView, TopKView
+
+            views = sub.enable_views()
+            views.declare(CountView("docs", "Doc"))
+            views.declare(SumView("total", "Doc", "value"))
+            views.declare(TopKView("top", "Doc", "value", k=3))
         return eco, pub, sub, PubDoc
 
     def _build_ecosystem(self) -> None:
@@ -453,6 +472,21 @@ class ConformanceHarness:
                 )
                 return
 
+    def _reader_loop(self, wid: str) -> None:
+        """The read-path worker: races cache-aside view reads against
+        the apply stream. Every read emits ``cache.read`` events the
+        checker holds against the invalidation frontier — a hit served
+        below it is the INV_VIEW staleness violation."""
+        views = self.sub.views
+        names = [spec.name for spec in views.specs()]
+        while True:
+            yield_point("reader.tick", worker=wid)
+            for name in names:
+                views.read(name)
+            if self._drained():
+                observe_point("reader.drained", worker=wid)
+                return
+
     def _phase1_loop(self, wid: str, abandon_after: Optional[int]) -> None:
         try:
             self._subscriber_loop(wid, abandon_after)
@@ -490,6 +524,10 @@ class ConformanceHarness:
             )
         if config.crash_recovery:
             self.scheduler.add_worker("rec", self._recovery_loop)
+        if config.views:
+            self.scheduler.add_worker(
+                "reader", lambda: self._reader_loop("reader")
+            )
 
         stuck: Optional[SchedulerStuck] = None
         try:
@@ -538,6 +576,8 @@ class ConformanceHarness:
             "tolerated_nacks": self.checker.tolerated_nacks,
             "coalesced": len(self.checker.coalesced_into),
             "shed": len(self.checker.shed),
+            "cache_hits": self.checker.cache_hits,
+            "cache_misses": self.checker.cache_misses,
             "decommissioned": queue.decommissioned if queue is not None else False,
             "steps": self.scheduler.steps,
         }
@@ -568,8 +608,10 @@ def default_matrix(
 ) -> List[ScheduleConfig]:
     """The sweep the CI smoke step runs: for every mode and seed, one
     plain schedule, a crash-recovery variant, a flow-control variant
-    (coalescing + batched group-commit apply), and a durability
-    variant (WAL everything, then prove restore-equivalence), with
+    (coalescing + batched group-commit apply), a durability variant
+    (WAL everything, then prove restore-equivalence), and a read-path
+    variant (views + cache racing a reader worker, with flow on so
+    coalescing and batched apply must preserve invalidation), with
     broker faults folded into a slice of the seeds."""
     base = base or ScheduleConfig()
     configs: List[ScheduleConfig] = []
@@ -607,6 +649,18 @@ def default_matrix(
                     faults=faults,
                     crash_recovery=False,
                     flow=False,
+                )
+            )
+            configs.append(
+                replace(
+                    base,
+                    mode=mode,
+                    seed=seed,
+                    views=True,
+                    flow=True,
+                    faults=0,
+                    crash_recovery=False,
+                    durability=False,
                 )
             )
     return configs

@@ -58,6 +58,13 @@ def _build_demo_ecosystem() -> Tuple[Any, Any, Any, type]:
         name = Field(str)
         score = Field(int, default=0)
 
+    # Read path on: the views/cache row below then shows live counters.
+    from repro.views import CountView, SumView
+
+    views = sub.enable_views()
+    views.declare(CountView("item_count", "Item"))
+    views.declare(SumView("score_total", "Item", "score"))
+
     return eco, pub, sub, Item
 
 
@@ -118,6 +125,27 @@ def _render_round(eco: Any, round_no: int) -> List[str]:
         f"bytes={_durability('wal.bytes')} "
         f"snapshots={_durability('snapshot.count')}"
     )
+    def _prefixed_sum(prefix: str, suffix: str) -> int:
+        return sum(
+            int(value)
+            for name, value in snapshot.items()
+            if name.startswith(prefix) and name.endswith(suffix)
+            and isinstance(value, (int, float))
+        )
+
+    lines.append(
+        "  views: "
+        f"applied={_prefixed_sum('views.', '.applied')} "
+        f"folds={_prefixed_sum('views.', '.folds')} "
+        f"rebuilds={_prefixed_sum('views.', '.rebuilds')}"
+    )
+    lines.append(
+        "  cache: "
+        f"hits={_prefixed_sum('cache.', '.hits')} "
+        f"misses={_prefixed_sum('cache.', '.misses')} "
+        f"invalidations={_prefixed_sum('cache.', '.invalidations')} "
+        f"write_through={_prefixed_sum('cache.', '.write_throughs')}"
+    )
     anomalies = eco.recorder.anomalies()
     lines.append(
         f"  flight recorder: {len(eco.recorder.traces())} traces, "
@@ -151,6 +179,9 @@ def watch_command(args: List[str]) -> int:
                             item_cls.create(name=f"item-{round_no}-{i}", score=0)
                         )
             sub.subscriber.drain()
+            # Exercise the read path so the cache row has live numbers.
+            sub.views.read("item_count")
+            sub.views.read("score_total")
 
             if as_json:
                 print(to_json(eco.metrics, monitor=eco.monitor))

@@ -1,0 +1,33 @@
+"""Subscriber-side CQRS: derived read models and the replication-driven
+cache tier (docs/read_path.md).
+
+The write side of the repro is the Synapse pipeline — publishers,
+write messages, subscriber applies. This package is the read side the
+paper's Crowdtap analytics service needed (§2, §6): subscribers declare
+*derived* read models (incremental counts, sums, top-k rankings,
+per-user feeds) that are maintained in the apply path itself, plus a
+:class:`ReplicatedCache` whose invalidation rides the same
+broker/subscriber stream as any replica, carrying per-key version
+watermarks so a cached read is never staler than the causal frontier
+the subscriber has applied.
+"""
+
+from repro.views.cache import ReplicatedCache
+from repro.views.manager import ViewManager
+from repro.views.specs import (
+    CountView,
+    FeedView,
+    SumView,
+    TopKView,
+    ViewSpec,
+)
+
+__all__ = [
+    "CountView",
+    "FeedView",
+    "ReplicatedCache",
+    "SumView",
+    "TopKView",
+    "ViewManager",
+    "ViewSpec",
+]

@@ -1,0 +1,163 @@
+"""The replication-driven cache tier: cache-aside reads with
+write-through from the apply path, over the KV engine.
+
+Freshness is a per-key **version watermark**, not a TTL. Every key has
+a monotonically increasing version counter in the KV store; the apply
+path bumps it (invalidate) or bumps-and-stores the new value
+(write-through) *while the write lands*, so the watermark tracks the
+causal frontier the subscriber has applied. A cache-aside read:
+
+1. captures the key's current version ``v`` *before* touching the
+   backing engine,
+2. serves the cached entry only if its version equals ``v`` (an entry
+   filled before the latest invalidation can never be served),
+3. on miss, loads from the engine and stores ``(value, v)`` — if a
+   write raced in between, the current version has moved past ``v``
+   and the freshly stored entry is already stale, so the next read
+   reloads. A stale value can be *stored*, never *served*.
+
+The interleave events (``cache.read`` / ``cache.invalidate``) are
+record-only observe points emitted inside the cache's atomic KV script,
+so the checker's event order equals version order — that is what lets
+``INV_VIEW`` assert "no cached read is older than an applied write"
+deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.databases.kv import RedisLike
+from repro.runtime.interleave import observe_point
+
+
+class ReplicatedCache:
+    """Versioned cache over a Redis-like KV engine for one service."""
+
+    def __init__(
+        self, owner: str, kv: Optional[RedisLike] = None, metrics=None
+    ) -> None:
+        self.owner = owner
+        self.kv = kv if kv is not None else RedisLike(f"{owner}-cache")
+        if metrics is not None:
+            self.hits = metrics.counter(f"cache.{owner}.hits")
+            self.misses = metrics.counter(f"cache.{owner}.misses")
+            self.stale_fills = metrics.counter(f"cache.{owner}.stale_fills")
+            self.invalidations = metrics.counter(
+                f"cache.{owner}.invalidations"
+            )
+            self.write_throughs = metrics.counter(
+                f"cache.{owner}.write_throughs"
+            )
+        else:  # pragma: no cover - bare construction in unit tests
+            self.hits = self.misses = self.stale_fills = None
+            self.invalidations = self.write_throughs = None
+
+    @staticmethod
+    def row_key(model: str, row_id: Any) -> str:
+        return f"row:{model}:{row_id}"
+
+    @staticmethod
+    def view_key(name: str) -> str:
+        return f"view:{name}"
+
+    # -- read side (cache-aside) -------------------------------------------
+
+    def version(self, key: str) -> int:
+        return self.kv.get(f"ver:{key}") or 0
+
+    def read(self, key: str, loader: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Serve ``key`` from cache, or load-and-fill via ``loader``.
+        Returns ``(value, hit)``."""
+
+        def lookup(store: RedisLike):
+            version = store.get(f"ver:{key}") or 0
+            entry = store.get(f"val:{key}")
+            if entry is not None and entry["v"] == version:
+                observe_point(
+                    "cache.read", key=key, version=version, hit=True
+                )
+                return version, entry["value"], True
+            return version, None, False
+
+        version, value, hit = self.kv.eval(lookup)
+        if hit:
+            if self.hits is not None:
+                self.hits.increment()
+            return value, True
+        if self.misses is not None:
+            self.misses.increment()
+        # The engine read happens outside the cache lock (it has its own
+        # engine lock and may be arbitrarily slow); ``version`` was
+        # captured before it, so a write that lands mid-load moves the
+        # watermark past this fill and the entry is born stale.
+        value = loader()
+
+        def fill(store: RedisLike):
+            current = store.get(f"ver:{key}") or 0
+            store.set(f"val:{key}", {"v": version, "value": value})
+            observe_point(
+                "cache.read", key=key, version=version, hit=False
+            )
+            return current
+
+        current = self.kv.eval(fill)
+        if current != version and self.stale_fills is not None:
+            self.stale_fills.increment()
+        return value, False
+
+    # -- write side (rides the apply path) ---------------------------------
+
+    def invalidate(self, key: str) -> int:
+        """Advance the key's watermark; any cached entry is now
+        unservable. Returns the new version."""
+
+        def bump(store: RedisLike):
+            version = (store.get(f"ver:{key}") or 0) + 1
+            store.set(f"ver:{key}", version)
+            observe_point("cache.invalidate", key=key, version=version)
+            return version
+
+        version = self.kv.eval(bump)
+        if self.invalidations is not None:
+            self.invalidations.increment()
+        return version
+
+    def write_through(self, key: str, value: Any) -> int:
+        """Advance the watermark *and* install the new value at it in
+        one atomic step — the next read hits without touching the
+        engine, and can never observe the pre-write value."""
+
+        def bump_and_store(store: RedisLike):
+            version = (store.get(f"ver:{key}") or 0) + 1
+            store.set(f"ver:{key}", version)
+            store.set(f"val:{key}", {"v": version, "value": value})
+            observe_point("cache.invalidate", key=key, version=version)
+            return version
+
+        version = self.kv.eval(bump_and_store)
+        if self.write_throughs is not None:
+            self.write_throughs.increment()
+        return version
+
+    def flush(self) -> None:
+        """Drop every entry *and* watermark (rebuild/bootstrap): an
+        empty cache serves nothing, so resetting versions is safe."""
+        self.kv.flushall()
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits.value if self.hits is not None else 0,
+            "misses": self.misses.value if self.misses is not None else 0,
+            "invalidations": (
+                self.invalidations.value
+                if self.invalidations is not None else 0
+            ),
+            "write_throughs": (
+                self.write_throughs.value
+                if self.write_throughs is not None else 0
+            ),
+            "entries": sum(
+                1 for key in self.kv.keys("val:")
+            ),
+        }

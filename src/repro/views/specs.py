@@ -1,0 +1,196 @@
+"""Derived read-model specs: the incremental aggregations a subscriber
+can maintain from the write stream.
+
+Every spec is defined by two computations that must agree:
+
+- :meth:`ViewSpec.apply` — the incremental step, fed one row transition
+  ``(old_row, new_row)`` from the subscriber apply path. Deltas are
+  *row-state-based*, not event-count-based, which is what makes them
+  safe under flow-control coalescing: a message that absorbed three
+  updates applies as one transition to the final attributes, and the
+  view lands exactly where replaying the three would have.
+- :meth:`ViewSpec.recompute` — the same aggregate from a full scan of
+  the base rows. The ``INV_VIEW`` conformance invariant (and the
+  durability rebuild path) is precisely ``canonical(incremental state)
+  == canonical(recompute(rows))``.
+
+``old_row is None`` means the row came into existence with this
+transition; ``new_row is None`` means it was deleted. Both non-None is
+an update. Specs never see the broker message — only engine row states
+— so they are delivery-mode and engine agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+class ViewSpec:
+    """One derived read model over a single subscribed model."""
+
+    def __init__(self, name: str, model: str) -> None:
+        self.name = name
+        #: Local model name (the subscriber-side class name).
+        self.model = model
+
+    def initial(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def apply(
+        self,
+        state: Dict[str, Any],
+        old_row: Optional[Dict[str, Any]],
+        new_row: Optional[Dict[str, Any]],
+    ) -> None:
+        raise NotImplementedError
+
+    def recompute(self, rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+        state = self.initial()
+        for row in rows:
+            self.apply(state, None, row)
+        return state
+
+    def read(self, state: Dict[str, Any]) -> Any:
+        """The value served to readers."""
+        raise NotImplementedError
+
+    def canonical(self, state: Dict[str, Any]) -> Any:
+        """Deterministic projection compared by ``INV_VIEW`` and the
+        rebuild path. Defaults to :meth:`read`; order-sensitive views
+        (feeds) override it with an order-free projection, because a
+        full-scan recompute cannot know arrival order."""
+        return self.read(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} over {self.model}>"
+
+
+class CountView(ViewSpec):
+    """Row count, optionally of rows matching a predicate."""
+
+    def __init__(
+        self,
+        name: str,
+        model: str,
+        predicate: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> None:
+        super().__init__(name, model)
+        self.predicate = predicate
+
+    def _matches(self, row: Optional[Dict[str, Any]]) -> bool:
+        if row is None:
+            return False
+        return self.predicate(row) if self.predicate is not None else True
+
+    def initial(self) -> Dict[str, Any]:
+        return {"count": 0}
+
+    def apply(self, state, old_row, new_row) -> None:
+        state["count"] += int(self._matches(new_row)) - int(
+            self._matches(old_row)
+        )
+
+    def read(self, state) -> int:
+        return state["count"]
+
+
+class SumView(ViewSpec):
+    """Running sum of one numeric field."""
+
+    def __init__(self, name: str, model: str, field: str) -> None:
+        super().__init__(name, model)
+        self.field = field
+
+    def _value(self, row: Optional[Dict[str, Any]]):
+        if row is None:
+            return 0
+        return row.get(self.field) or 0
+
+    def initial(self) -> Dict[str, Any]:
+        return {"sum": 0}
+
+    def apply(self, state, old_row, new_row) -> None:
+        state["sum"] += self._value(new_row) - self._value(old_row)
+
+    def read(self, state):
+        return state["sum"]
+
+
+class TopKView(ViewSpec):
+    """The k rows ranking highest on one numeric field.
+
+    The state keeps every row's current value (a deletion or a score
+    drop can promote *any* row into the top k, so a bounded candidate
+    set cannot be maintained incrementally without rescans); ``read``
+    ranks at read time. Ties break on row id so reads are
+    deterministic across replicas."""
+
+    def __init__(self, name: str, model: str, field: str, k: int = 10) -> None:
+        super().__init__(name, model)
+        self.field = field
+        self.k = k
+
+    def initial(self) -> Dict[str, Any]:
+        return {"values": {}}
+
+    def apply(self, state, old_row, new_row) -> None:
+        values = state["values"]
+        if new_row is None:
+            values.pop(old_row["id"], None)
+            return
+        values[new_row["id"]] = new_row.get(self.field) or 0
+
+    def read(self, state) -> List[List[Any]]:
+        ranked = sorted(
+            state["values"].items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        return [[row_id, value] for row_id, value in ranked[: self.k]]
+
+
+class FeedView(ViewSpec):
+    """Per-key activity feed: the most recent ``limit`` row ids per
+    value of ``key_field`` (e.g. per-user timelines), newest first.
+
+    Recency is apply order — the subscriber's causal frontier — so two
+    replicas that applied the same stream show the same feeds. The
+    :meth:`canonical` projection drops the ordering (full-scan
+    recompute cannot reconstruct arrival order from bare rows)."""
+
+    def __init__(
+        self, name: str, model: str, key_field: str, limit: int = 20
+    ) -> None:
+        super().__init__(name, model)
+        self.key_field = key_field
+        self.limit = limit
+
+    def initial(self) -> Dict[str, Any]:
+        return {"feeds": {}}
+
+    def apply(self, state, old_row, new_row) -> None:
+        feeds = state["feeds"]
+        if old_row is not None:
+            old_key = old_row.get(self.key_field)
+            if old_key in feeds and old_row["id"] in feeds[old_key]:
+                feeds[old_key].remove(old_row["id"])
+                if not feeds[old_key]:
+                    del feeds[old_key]
+        if new_row is None:
+            return
+        feed = feeds.setdefault(new_row.get(self.key_field), [])
+        if new_row["id"] in feed:
+            feed.remove(new_row["id"])
+        # Full membership is kept (the limit applies at read time):
+        # trimming here would make the state depend on arrival order in
+        # a way a full-scan recompute could never reproduce.
+        feed.insert(0, new_row["id"])
+
+    def read(self, state) -> Dict[Any, List[Any]]:
+        return {
+            key: list(ids[: self.limit]) for key, ids in state["feeds"].items()
+        }
+
+    def canonical(self, state) -> Dict[str, List[str]]:
+        return {
+            str(key): sorted(str(row_id) for row_id in ids)
+            for key, ids in state["feeds"].items()
+        }

@@ -1,7 +1,7 @@
 """Property test: crash-and-restore at every WAL record boundary.
 
 A seeded random workload (publish / update / ack-by-drain / shed /
-coalesce) writes a WAL; then, for *every* prefix length k of that log,
+coalesce / defer-rotation) writes a WAL; then, for *every* prefix length k of that log,
 a fresh ecosystem restores exactly k records, snapshots at that
 boundary, and a third ecosystem restores snapshot-plus-tail. The
 invariant is ARIES-lite's contract: *snapshot at any boundary + tail
@@ -55,8 +55,8 @@ def build_pipeline(data_dir):
 
 def run_workload(pub, sub, doc_cls, rng, operations=24):
     """Randomized publish/update/drain against a flow-controlled queue:
-    adjacent updates coalesce, floods past the watermark shed, drains
-    ack and apply."""
+    adjacent updates coalesce, floods past the watermark shed, defer
+    rotations reorder the backlog, drains ack and apply."""
     docs = []
     for _ in range(operations):
         op = rng.random()
@@ -65,11 +65,19 @@ def run_workload(pub, sub, doc_cls, rng, operations=24):
                 docs.append(
                     doc_cls.create(name=f"doc-{len(docs)}", score=0)
                 )
-        elif op < 0.8:
+        elif op < 0.7:
             doc = rng.choice(docs)
             with pub.controller():
                 doc.score += rng.randrange(1, 10)
                 doc.save()
+        elif op < 0.85:
+            # The worker pools' stall rotation: pop the head, put it at
+            # the back — a ``defer`` record the restore must replay, or
+            # snapshot-boundary state diverges from pure-replay order.
+            queue = sub.subscriber.queue
+            message = queue.pop(timeout=0)
+            if message is not None:
+                queue.defer(message)
         else:
             sub.subscriber.drain()
     return docs

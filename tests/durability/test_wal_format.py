@@ -128,6 +128,67 @@ class TestPipelineRecordGolden:
         assert set(ack) == {"t", "q", "uid"}
         assert ack["uid"] == apply_rec["uid"]
 
+    def test_flow_and_rotation_records_on_disk(self, tmp_path):
+        """The coal / shed / defer record shapes, written through the
+        real hooks and read back raw off disk. ``coal`` carries the
+        absorbed uids (replay drops them from pending) and ``defer``
+        pins the rotation a restored queue must reproduce."""
+        from repro.broker.message import Message
+        from repro.core import Ecosystem
+        from repro.databases.document import MongoLike
+        from repro.databases.relational import PostgresLike
+        from repro.orm import Field, Model
+        from repro.runtime.flow import FlowConfig
+        from repro.runtime.flow.coalesce import merge_into
+
+        eco = Ecosystem()
+        eco.enable_flow(FlowConfig(capacity=8))
+        pub = eco.service("pub", database=MongoLike("pub-db"))
+
+        @pub.model(publish=["name"], name="Doc")
+        class PubDoc(Model):
+            name = Field(str)
+
+        sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+        @sub.model(subscribe={"from": "pub", "fields": ["name"]}, name="Doc")
+        class SubDoc(Model):
+            name = Field(str)
+
+        manager = eco.enable_durability(data_dir=str(tmp_path))
+        flow = sub.subscriber.queue.flow
+        survivor = Message(
+            app="pub", operations=[{"operation": "update", "types": ["Doc"],
+                                    "id": 1, "attributes": {"name": "a"}}],
+            dependencies={"h1": 1}, published_at=0.0, uid="pub:1",
+        )
+        absorbed = Message(
+            app="pub", operations=[{"operation": "update", "types": ["Doc"],
+                                    "id": 1, "attributes": {"name": "b"}}],
+            dependencies={"h1": 2}, published_at=0.0, uid="pub:2",
+        )
+        merge_into(survivor, absorbed)
+        manager.log_coal("sub", survivor)
+        flow._record_shed(absorbed)
+        manager.log_shed("sub", absorbed, flow)
+        manager.log_defer("sub", survivor)
+        manager.close()
+        path = manager.wal.segment_path(1)
+        with open(path, "r", encoding="utf-8") as fh:
+            records = [decode_record(line.strip()) for line in fh if line.strip()]
+        by_type = {rec["t"]: rec for rec in records}
+        coal = by_type["coal"]
+        assert set(coal) == {"t", "q", "uid", "m", "absorbed"}
+        assert coal["uid"] == "pub:1"
+        assert coal["absorbed"] == ["pub:2"]
+        assert coal["m"]["coalesced_uids"] == ["pub:2"]
+        shed = by_type["shed"]
+        assert set(shed) == {"t", "q", "app", "ledger"}
+        assert shed["app"] == "pub"
+        assert shed["ledger"] == {"h1": 1}
+        defer = by_type["defer"]
+        assert defer == {"t": "defer", "q": "sub", "uid": "pub:1"}
+
 
 class TestSnapshotManifestGolden:
     def test_manifest_exact_shape(self):

@@ -1,0 +1,170 @@
+"""Unit coverage for the view specs: every incremental `apply` must
+land exactly where `recompute` over the final rows lands — including
+deletes, field updates that move a row between buckets, and the
+order-free canonical projections."""
+
+import random
+
+from repro.views import CountView, FeedView, SumView, TopKView
+
+
+def drive(spec, transitions):
+    """Fold transitions incrementally AND maintain the row table, then
+    return (incremental state, recomputed state)."""
+    state = spec.initial()
+    rows = {}
+    for old_row, new_row in transitions:
+        spec.apply(state, old_row, new_row)
+        if new_row is None:
+            rows.pop(old_row["id"], None)
+        else:
+            rows[new_row["id"]] = new_row
+    return state, spec.recompute(list(rows.values()))
+
+
+class TestCountView:
+    def test_create_update_delete(self):
+        spec = CountView("n", "Doc")
+        state, recomputed = drive(
+            spec,
+            [
+                (None, {"id": 1, "v": 1}),
+                (None, {"id": 2, "v": 5}),
+                ({"id": 1, "v": 1}, {"id": 1, "v": 9}),  # update: no change
+                ({"id": 2, "v": 5}, None),  # delete
+            ],
+        )
+        assert spec.read(state) == 1
+        assert spec.read(state) == spec.read(recomputed)
+
+    def test_predicate_counts_bucket_moves(self):
+        spec = CountView("hot", "Doc", predicate=lambda row: row["v"] >= 10)
+        state, recomputed = drive(
+            spec,
+            [
+                (None, {"id": 1, "v": 3}),
+                ({"id": 1, "v": 3}, {"id": 1, "v": 12}),  # enters bucket
+                (None, {"id": 2, "v": 20}),
+                ({"id": 2, "v": 20}, {"id": 2, "v": 1}),  # leaves bucket
+            ],
+        )
+        assert spec.read(state) == 1
+        assert spec.read(state) == spec.read(recomputed)
+
+
+class TestSumView:
+    def test_delta_is_row_state_based(self):
+        spec = SumView("s", "Doc", "v")
+        # The same final row reached via many intermediate states sums
+        # identically — what makes sums safe under coalescing.
+        state, recomputed = drive(
+            spec,
+            [
+                (None, {"id": 1, "v": 4}),
+                ({"id": 1, "v": 4}, {"id": 1, "v": 100}),
+                ({"id": 1, "v": 100}, {"id": 1, "v": 7}),
+                (None, {"id": 2, "v": None}),  # missing/None counts as 0
+            ],
+        )
+        assert spec.read(state) == 7
+        assert spec.read(state) == spec.read(recomputed)
+
+    def test_delete_subtracts(self):
+        spec = SumView("s", "Doc", "v")
+        state, recomputed = drive(
+            spec,
+            [(None, {"id": 1, "v": 5}), ({"id": 1, "v": 5}, None)],
+        )
+        assert spec.read(state) == 0 == spec.read(recomputed)
+
+
+class TestTopKView:
+    def test_demotion_and_delete_promote_lower_rows(self):
+        spec = TopKView("top", "Doc", "v", k=2)
+        state, recomputed = drive(
+            spec,
+            [
+                (None, {"id": "a", "v": 10}),
+                (None, {"id": "b", "v": 20}),
+                (None, {"id": "c", "v": 5}),
+                # Demote the leader below everyone: c must surface.
+                ({"id": "b", "v": 20}, {"id": "b", "v": 1}),
+                # Delete the new leader: b must come back.
+                ({"id": "a", "v": 10}, None),
+            ],
+        )
+        assert spec.read(state) == [["c", 5], ["b", 1]]
+        assert spec.read(state) == spec.read(recomputed)
+
+    def test_deterministic_tie_break(self):
+        spec = TopKView("top", "Doc", "v", k=3)
+        rows = [{"id": i, "v": 7} for i in (3, 1, 2)]
+        assert spec.read(spec.recompute(rows)) == [[1, 7], [2, 7], [3, 7]]
+
+
+class TestFeedView:
+    def test_read_orders_by_recency_canonical_does_not(self):
+        spec = FeedView("feeds", "Doc", "author", limit=2)
+        state = spec.initial()
+        for i in range(4):
+            spec.apply(state, None, {"id": i, "author": "ada"})
+        # Newest first, trimmed to the limit at read time.
+        assert spec.read(state) == {"ada": [3, 2]}
+        # Canonical keeps full membership, order-free: a full-scan
+        # recompute (arrival order unknowable) must compare equal.
+        rows = [{"id": i, "author": "ada"} for i in (2, 0, 3, 1)]
+        assert spec.canonical(state) == spec.canonical(spec.recompute(rows))
+
+    def test_key_move_and_delete(self):
+        spec = FeedView("feeds", "Doc", "author")
+        state, recomputed = drive(
+            spec,
+            [
+                (None, {"id": 1, "author": "ada"}),
+                (None, {"id": 2, "author": "bob"}),
+                # Reassign 1 to bob: it must leave ada's feed entirely.
+                ({"id": 1, "author": "ada"}, {"id": 1, "author": "bob"}),
+                ({"id": 2, "author": "bob"}, None),
+            ],
+        )
+        assert spec.read(state) == {"bob": [1]}
+        assert spec.canonical(state) == spec.canonical(recomputed)
+
+
+class TestRandomizedEquivalence:
+    def test_every_spec_matches_recompute_over_random_histories(self):
+        rng = random.Random(42)
+        specs = [
+            CountView("n", "Doc"),
+            CountView("hot", "Doc", predicate=lambda row: row["v"] > 50),
+            SumView("s", "Doc", "v"),
+            TopKView("top", "Doc", "v", k=5),
+            FeedView("feeds", "Doc", "author", limit=3),
+        ]
+        for trial in range(20):
+            rows = {}
+            transitions = []
+            for _ in range(60):
+                row_id = rng.randrange(12)
+                old = rows.get(row_id)
+                if old is not None and rng.random() < 0.2:
+                    transitions.append((dict(old), None))
+                    del rows[row_id]
+                    continue
+                new = {
+                    "id": row_id,
+                    "v": rng.randrange(100),
+                    "author": rng.choice(["ada", "bob", "cyd"]),
+                }
+                transitions.append(
+                    (dict(old) if old is not None else None, dict(new))
+                )
+                rows[row_id] = new
+            for spec in specs:
+                state = spec.initial()
+                for old_row, new_row in transitions:
+                    spec.apply(state, old_row, new_row)
+                recomputed = spec.recompute(list(rows.values()))
+                assert spec.canonical(state) == spec.canonical(recomputed), (
+                    f"{spec.name} diverged on trial {trial}"
+                )
