@@ -16,11 +16,22 @@ Commands:
         queue/subscriber/version-store code; with --seed K, replay one
         schedule and dump its violations and trace tail
     watch [--once] [--rounds N] [--interval S] [--writes N]
-          [--prometheus] [--json]
+          [--prometheus] [--json] [--cluster]
         live replication-health console over a demo two-service
         workload: per-link p50/p99 lag, SLO status, throughput and
         flight-recorder counts each round; --once runs a single round
-        (the CI smoke mode), --prometheus/--json switch the exposition
+        (the CI smoke mode), --prometheus/--json switch the exposition;
+        --cluster drives the 2-shard demo instead and renders the
+        federated view — every series labeled with its shard, health
+        merged across both OS processes through the control plane
+    trace [<uid>] [--operations N] [--timeout S]
+        run the 2-shard demo with every message sampled and print one
+        assembled cross-shard trace (the given uid, else the first uid
+        both shards hold spans for): publisher-side intercept/route/
+        forward and subscriber-side dwell/apply spans from different
+        OS processes on one normalized timeline, with per-hop transit
+        latency and the critical path; exits 0 iff at least two shards
+        contributed spans
     flow --demo [--writes N] [--queue-limit Q]
         flow-control subsystem demo: flood a small bounded queue and
         watch graduated backpressure shed weak publishes before the
@@ -235,6 +246,10 @@ def main(argv: list) -> int:
         from repro.runtime.monitor.watch import watch_command
 
         return watch_command(args)
+    if command == "trace":
+        from repro.runtime.transport.demo import trace_command
+
+        return trace_command(args)
     if command == "conformance":
         from repro.runtime.conformance.cli import conformance_command
 

@@ -12,7 +12,7 @@ from repro.broker.message import Message
 from repro.broker.queue import SubscriberQueue
 from repro.errors import BrokerError
 from repro.runtime.metrics import MetricsRegistry
-from repro.runtime.tracing import STAGE_ROUTE, trace_now
+from repro.runtime.tracing import STAGE_FORWARD, STAGE_ROUTE, trace_now
 
 
 class Broker:
@@ -52,6 +52,10 @@ class Broker:
         #: routing gets a structured event so a postmortem dump names the
         #: exact lost message (§6.5).
         self.recorder = None
+        #: Tracer (bound by the owning ecosystem): traced messages bound
+        #: for remote shards leave their origin-side spans here as a
+        #: partial trace before the wire copy departs.
+        self.tracer = None
         #: FlowController (bound via :meth:`attach_flow` when the owning
         #: ecosystem enables flow control): every queue gets per-queue
         #: admission credits and a coalescing index.
@@ -236,7 +240,19 @@ class Broker:
                 continue
             if payload is None:
                 payload = message.to_json()
-            forwarder(sub, payload)
+            if message.trace is None:
+                forwarder(sub, payload)
+            else:
+                # The wire copy was serialized before this span exists,
+                # so the forward span stays origin-local: the subscriber
+                # shard finishes the trace, and this shard keeps the
+                # publisher half (intercept/route/forward) as a partial
+                # for cross-shard assembly (``trace_fetch``).
+                start = trace_now()
+                forwarder(sub, payload)
+                message.trace.add(STAGE_FORWARD, start, trace_now() - start)
+                if self.tracer is not None:
+                    self.tracer.record_partial(message.trace)
 
     def deliver_remote(self, subscriber_app: str, payload: str) -> None:
         """Enqueue a wire payload forwarded from another shard.

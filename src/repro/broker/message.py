@@ -19,8 +19,10 @@ from repro.runtime.tracing import Trace
 
 #: Data-plane wire-format schema version. Bump when a field changes
 #: meaning; receivers refuse payloads from a *newer* schema instead of
-#: silently misreading them.
-WIRE_VERSION = 1
+#: silently misreading them. v2: the optional ``trace`` dict may carry
+#: per-span ``shard`` tags and a trace ``origin`` (cross-shard tracing);
+#: v1 payloads — which simply omit them — are still accepted.
+WIRE_VERSION = 2
 
 _seq = itertools.count(1)
 _seq_lock = threading.Lock()

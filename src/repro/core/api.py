@@ -94,6 +94,7 @@ class Ecosystem:
         self.recorder.registry = self.metrics
         self.tracer.sink = self.recorder.record_trace
         self.broker.recorder = self.recorder
+        self.broker.tracer = self.tracer
         #: Per-link lag SLOs and the ``eco.monitor.health()`` report.
         self.monitor = LagMonitor(self)
         #: FlowController once :meth:`enable_flow` has run; None keeps
@@ -113,6 +114,9 @@ class Ecosystem:
         #: them (the default single-process deployment). A ShardRunner
         #: worker narrows it to its placement.
         self.owned_services: Optional[set] = None
+        #: Cluster observability plane (repro.runtime.monitor.cluster),
+        #: wired up by the shard worker entry point in sharded runs.
+        self.cluster = None
 
     # ------------------------------------------------------------------
     # Local-service views (the only sanctioned enumeration surface:

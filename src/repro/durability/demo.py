@@ -33,7 +33,6 @@ import multiprocessing
 import os
 import signal
 import tempfile
-import time
 from typing import Any, Dict, Optional
 
 from repro.errors import TransportError, TransportTimeout
@@ -241,15 +240,17 @@ def _run_crash_phase(
         processes[victim].join(timeout=timeout)
         killed = processes[victim].exitcode == -signal.SIGKILL
         # Let the survivor's link thread finish consuming whatever the
-        # victim managed to push into the pipe before dying.
-        last: Optional[int] = None
-        for _ in range(50):
-            command[survivor].send(("idle?",))
-            state = _recv(command[survivor], survivor, "idle", timeout)
-            if state["idle"] and last == state["received"]:
-                break
-            last = state["received"]
-            time.sleep(0.05)
+        # victim managed to push into the pipe before dying: the shared
+        # quiesce helper polls the cluster health_report from inside the
+        # survivor, degrading to counter-stability for the dead peer.
+        command[survivor].send(("quiesce", timeout))
+        quiesced = _recv(
+            command[survivor], survivor, "quiesced", timeout + 10.0
+        )
+        if not quiesced["quiesced"]:
+            raise TransportTimeout(
+                f"survivor {survivor!r} did not quiesce after the crash"
+            )
         command[survivor].send(("finish",))
         survivor_stats = _recv(command[survivor], survivor, "result", timeout)
         processes[survivor].join(timeout=timeout)

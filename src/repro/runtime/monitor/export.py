@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Every exported sample name starts with this.
 PREFIX = "repro_"
@@ -27,9 +27,11 @@ _QUANTILES = (("0.5", 50), ("0.99", 99))
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"(?:\{(?P<labels>.*)\})?"
     r"\s+(?P<value>[^\s]+)$"
 )
+
+_LABEL_KEY_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
 
 
 def mangle(name: str) -> str:
@@ -38,29 +40,106 @@ def mangle(name: str) -> str:
     return PREFIX + safe
 
 
-def to_prometheus(registry: Any) -> str:
-    """Render every instrument of ``registry`` in Prometheus text format."""
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the exposition format: ``\\`` -> ``\\\\``,
+    ``"`` -> ``\\"``, newline -> ``\\n`` (hostile service/shard names must
+    not be able to break out of the quoted string)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    out: list = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def format_labels(labels: Dict[str, str]) -> str:
+    """``{key="escaped value",...}`` with sorted keys; "" when empty."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return "{" + body + "}"
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    """Scan a label body, honouring ``\\"`` escapes inside quoted values
+    (the regex above captures greedily up to the final ``}``)."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        if raw[i] in ", ":
+            i += 1
+            continue
+        match = _LABEL_KEY_RE.match(raw, i)
+        if match is None:
+            raise ValueError(f"unparseable label body: {raw!r}")
+        key = match.group(0)
+        i = match.end()
+        if raw[i:i + 2] != '="':
+            raise ValueError(f"unparseable label body: {raw!r}")
+        i += 2
+        start = i
+        while i < len(raw):
+            if raw[i] == "\\":
+                i += 2
+                continue
+            if raw[i] == '"':
+                break
+            i += 1
+        if i >= len(raw):
+            raise ValueError(f"unterminated label value in: {raw!r}")
+        labels[key] = unescape_label_value(raw[start:i])
+        i += 1  # past the closing quote
+    return labels
+
+
+def to_prometheus(registry: Any, labels: Optional[Dict[str, str]] = None) -> str:
+    """Render every instrument of ``registry`` in Prometheus text format.
+
+    ``labels`` (e.g. ``{"shard": "shard0"}``) are attached to every
+    sample — the cluster watch view merges per-shard registries into one
+    exposition this way — escaped per the format, so hostile names
+    cannot corrupt the exposition.
+    """
+    suffix = format_labels(labels or {})
+    lines = []
     counters, histograms = registry.instruments()
     gauges = registry.gauges() if hasattr(registry, "gauges") else {}
-    lines = []
     for name in sorted(counters):
         sample = mangle(name)
         lines.append(f"# TYPE {sample} counter")
-        lines.append(f"{sample} {counters[name].value}")
+        lines.append(f"{sample}{suffix} {counters[name].value}")
     for name in sorted(gauges):
         sample = mangle(name)
         lines.append(f"# TYPE {sample} gauge")
-        lines.append(f"{sample} {gauges[name].value:.9g}")
+        lines.append(f"{sample}{suffix} {gauges[name].value:.9g}")
     for name in sorted(histograms):
         histogram = histograms[name]
         sample = mangle(name)
         lines.append(f"# TYPE {sample} summary")
         for quantile, p in _QUANTILES:
-            lines.append(
-                f'{sample}{{quantile="{quantile}"}} {histogram.percentile(p):.9g}'
+            quantile_labels = format_labels(
+                dict(labels or {}, quantile=quantile)
             )
-        lines.append(f"{sample}_sum {histogram.total():.9g}")
-        lines.append(f"{sample}_count {histogram.count}")
+            lines.append(
+                f"{sample}{quantile_labels} {histogram.percentile(p):.9g}"
+            )
+        lines.append(f"{sample}_sum{suffix} {histogram.total():.9g}")
+        lines.append(f"{sample}_count{suffix} {histogram.count}")
     return "\n".join(lines) + "\n"
 
 
@@ -69,6 +148,10 @@ def parse_prometheus(text: str) -> Dict[str, Any]:
 
     Counters map to their integer-ish value; summaries map to
     ``{"quantiles": {"0.5": v, "0.99": v}, "sum": v, "count": n}``.
+    Samples carrying labels beyond ``quantile`` are keyed by
+    ``name{canonical-labels}`` (sorted, re-escaped) and additionally
+    expose their parsed labels under a ``"labels"`` entry for summaries,
+    so a merged multi-shard exposition round-trips losslessly.
     """
     out: Dict[str, Any] = {}
     summaries: Dict[str, Dict[str, Any]] = {}
@@ -86,19 +169,30 @@ def parse_prometheus(text: str) -> Dict[str, Any]:
         if match is None:
             raise ValueError(f"unparseable exposition line: {line!r}")
         name = match.group("name")
-        labels = match.group("labels")
+        raw_labels = match.group("labels")
+        labels = _parse_labels(raw_labels) if raw_labels else {}
+        quantile = labels.pop("quantile", None)
         value = float(match.group("value"))
+        # Extra labels (shard, service, ...) become part of the key, so
+        # the same instrument from two shards stays two entries.
+        key_suffix = format_labels(labels)
+
+        def _summary(base: str) -> Dict[str, Any]:
+            entry = summaries.setdefault(base + key_suffix, {})
+            if labels:
+                entry["labels"] = labels
+            return entry
+
         if name.endswith("_sum") and types.get(name[:-4]) == "summary":
-            summaries.setdefault(name[:-4], {})["sum"] = value
+            _summary(name[:-4])["sum"] = value
         elif name.endswith("_count") and types.get(name[:-6]) == "summary":
-            summaries.setdefault(name[:-6], {})["count"] = int(value)
-        elif types.get(name) == "summary" and labels:
-            quantile = labels.split("=", 1)[1].strip('"')
-            summaries.setdefault(name, {}).setdefault("quantiles", {})[
-                quantile
-            ] = value
+            _summary(name[:-6])["count"] = int(value)
+        elif types.get(name) == "summary" and quantile is not None:
+            _summary(name).setdefault("quantiles", {})[quantile] = value
         else:
-            out[name] = int(value) if value == int(value) else value
+            out[name + key_suffix] = (
+                int(value) if value == int(value) else value
+            )
     out.update(summaries)
     return out
 

@@ -91,6 +91,11 @@ class FlightRecorder:
         self._last_dump: Optional[float] = None
         #: Paths of every artifact written, oldest first.
         self.dumps: List[str] = []
+        #: Correlated-postmortem hook: called with the anomaly reason
+        #: after an automatic dump fires (rate-limited identically). The
+        #: cluster plane points it at ``broadcast_incident`` so every
+        #: peer shard freezes its matching window too.
+        self.incident_sink: Optional[Any] = None
 
     # -- recording ----------------------------------------------------------
 
@@ -144,7 +149,7 @@ class FlightRecorder:
     # -- dumping ------------------------------------------------------------
 
     def _maybe_auto_dump(self, reason: str) -> Optional[str]:
-        if self.dump_dir is None:
+        if self.dump_dir is None and self.incident_sink is None:
             return None
         now = self.clock.monotonic()
         with self._lock:
@@ -154,26 +159,22 @@ class FlightRecorder:
             ):
                 return None
             self._last_dump = now
-        return self.dump(reason=reason)
+        path = self.dump(reason=reason) if self.dump_dir is not None else None
+        if self.incident_sink is not None:
+            try:
+                self.incident_sink(reason)
+            except Exception:  # a broadcast failure must not lose the dump
+                pass
+        return path
 
-    def dump(self, reason: str = "manual") -> Optional[str]:
-        """Freeze the rings (plus registry exemplars) to one JSONL file;
-        returns the path, or None when no ``dump_dir`` is configured."""
-        if self.dump_dir is None:
-            return None
+    def _render_lines(self, reason: str) -> List[str]:
+        """The JSONL body of one dump: frozen rings + registry exemplars."""
         with self._lock:
             traces = list(self._traces)
             events = list(self._events)
-            self._dump_seq += 1
-            seq = self._dump_seq
         exemplars = (
             self.registry.exemplars() if self.registry is not None else {}
         )
-        safe_reason = "".join(
-            ch if ch.isalnum() or ch in "-_." else "_" for ch in reason
-        )
-        os.makedirs(self.dump_dir, exist_ok=True)
-        path = os.path.join(self.dump_dir, f"flight-{seq:04d}-{safe_reason}.jsonl")
         lines = [
             json.dumps(
                 {
@@ -195,6 +196,30 @@ class FlightRecorder:
                 lines.append(
                     json.dumps({"type": "exemplar", "metric": metric, **exemplar})
                 )
+        return lines
+
+    def dump(self, reason: str = "manual") -> Optional[str]:
+        """Freeze the rings (plus registry exemplars) to one JSONL file;
+        returns the path, or None when no ``dump_dir`` is configured."""
+        if self.dump_dir is None:
+            return None
+        with self._lock:
+            self._dump_seq += 1
+            seq = self._dump_seq
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in reason
+        )
+        os.makedirs(self.dump_dir, exist_ok=True)
+        path = os.path.join(self.dump_dir, f"flight-{seq:04d}-{safe_reason}.jsonl")
+        return self.dump_to(path, reason=reason)
+
+    def dump_to(self, path: str, reason: str = "manual") -> str:
+        """Freeze the rings to an explicit path (correlated postmortems
+        write every shard's window into one incident directory)."""
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        lines = self._render_lines(reason)
         with open(path, "w", encoding="utf-8") as fh:
             fh.write("\n".join(lines) + "\n")
         self.dumps.append(path)

@@ -4,6 +4,12 @@ Drives a small two-service workload (sampled tracing on, a tight demo
 SLO armed) and renders per-link lag, throughput and SLO status once per
 interval. ``--once`` runs a single round and exits — the CI smoke mode.
 
+``--cluster`` switches to the federated view: the 2-shard demo runs in
+worker OS processes and every round pulls ``health_report`` +
+``metrics_dump`` through the control plane, rendering one merged
+console (or Prometheus/JSON exposition) in which every series carries
+its ``shard`` label.
+
 Flags:
     --once            one round, then exit
     --rounds N        stop after N rounds (0 = until interrupted)
@@ -11,12 +17,14 @@ Flags:
     --writes N        publisher writes per round (default 20)
     --prometheus      also print the Prometheus exposition each round
     --json            print the JSON exposition instead of the console view
+    --cluster         federate the 2-shard demo instead of one process
 """
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Any, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.runtime.monitor.export import to_json, to_prometheus
 from repro.runtime.monitor.lag import LinkSLO
@@ -154,6 +162,107 @@ def _render_round(eco: Any, round_no: int) -> List[str]:
     return lines
 
 
+def _render_cluster_round(
+    round_no: int, health: Dict[str, Any], metrics: Dict[str, Any]
+) -> List[str]:
+    lines = [f"== cluster health · round {round_no} =="]
+    for shard in sorted(health["shards"]):
+        state = health["shards"][shard]
+        lines.append(
+            f"  [{shard}] idle={bool(state['idle'])} "
+            f"backlog={state['backlog']} in_flight={state['in_flight']} "
+            f"forwarded={state['sent']} delivered={state['received']}"
+        )
+        for link in (state.get("health") or {}).get("links", []):
+            lines.append(
+                f"  [{shard}] {link['publisher']} -> {link['subscriber']}: "
+                f"{link['status']} "
+                f"(p50={link['p50'] * 1000:.1f}ms "
+                f"p99={link['p99'] * 1000:.1f}ms "
+                f"samples={link['samples']})"
+            )
+    for shard in sorted(metrics["shards"]):
+        snapshot = metrics["shards"][shard]["metrics"]
+        applied = sum(
+            value for name, value in snapshot.items()
+            if name.startswith("subscriber.") and name.endswith(".processed")
+            and isinstance(value, int)
+        )
+        lines.append(
+            f"  [{shard}] throughput: "
+            f"routed={snapshot.get('broker.routed', 0)} "
+            f"dropped={snapshot.get('broker.dropped', 0)} "
+            f"applied={applied}"
+        )
+    for shard in sorted(set(health["missing"]) | set(metrics["missing"])):
+        lines.append(f"  [{shard}] UNREACHABLE (no report this round)")
+    return lines
+
+
+def _cluster_watch(
+    rounds: int, interval: float, writes: int,
+    as_json: bool, with_prometheus: bool,
+) -> int:
+    """Drive the 2-shard demo and render the federated view each round.
+
+    The parent never touches a shard's registry directly: every number
+    printed here crossed the control plane as a ``health_report`` /
+    ``metrics_dump`` federation op, shard label attached at the source.
+    """
+    import os
+
+    from repro.runtime.transport.demo import (
+        DEMO_PLACEMENT,
+        OPS_ENV,
+        TRACE_ENV,
+        build_demo_ecosystem,
+        demo_scenario,
+    )
+    from repro.runtime.transport.shard import ShardRunner
+
+    os.environ[OPS_ENV] = str(writes)
+    os.environ[TRACE_ENV] = "1.0"
+    runner = ShardRunner(
+        build_demo_ecosystem, DEMO_PLACEMENT, scenario=demo_scenario
+    )
+    round_no = 0
+    try:
+        runner.start()
+        while True:
+            round_no += 1
+            runner.run_scenarios()
+            runner.quiesce()
+            health = runner.cluster_request("health_report")
+            metrics = runner.cluster_request("metrics_dump")
+            if as_json:
+                print(json.dumps(
+                    {"round": round_no, "health": health,
+                     "metrics": {
+                         shard: entry["metrics"]
+                         for shard, entry in metrics["shards"].items()
+                     }},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                for line in _render_cluster_round(round_no, health, metrics):
+                    print(line)
+            if with_prometheus:
+                for shard in sorted(metrics["shards"]):
+                    print(metrics["shards"][shard]["prometheus"], end="")
+            if rounds and round_no >= rounds:
+                break
+            time.sleep(interval)
+        runner.finish()
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except BrokenPipeError:  # pragma: no cover - `watch ... | head` exit
+        return 0
+    finally:
+        os.environ.pop(TRACE_ENV, None)
+        runner.close()
+
+
 def watch_command(args: List[str]) -> int:
     once = "--once" in args
     rounds = int(_flag_value(args, "--rounds", 1 if once else 0))
@@ -161,6 +270,11 @@ def watch_command(args: List[str]) -> int:
     writes = int(_flag_value(args, "--writes", 20))
     as_json = "--json" in args
     with_prometheus = "--prometheus" in args
+
+    if "--cluster" in args:
+        return _cluster_watch(
+            rounds, interval, writes, as_json, with_prometheus
+        )
 
     eco, pub, sub, item_cls = _build_demo_ecosystem()
     items: List[Any] = []

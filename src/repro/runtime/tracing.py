@@ -49,6 +49,9 @@ STAGE_COLLECT = "publisher.collect_deps"
 STAGE_REGISTER = "publisher.version_register"
 STAGE_ENGINE_WRITE = "publisher.engine_write"
 STAGE_ROUTE = "broker.route"
+#: Shipping one wire payload across the broker's shard seam (recorded on
+#: the origin shard; the receiving shard's first span is its own ROUTE).
+STAGE_FORWARD = "transport.forward"
 STAGE_DWELL = "queue.dwell"
 STAGE_DEP_WAIT = "subscriber.dep_wait"
 STAGE_APPLY = "subscriber.apply"
@@ -73,6 +76,7 @@ PIPELINE_STAGES = (
     STAGE_REGISTER,
     STAGE_ENGINE_WRITE,
     STAGE_ROUTE,
+    STAGE_FORWARD,
     STAGE_DWELL,
     STAGE_DEP_WAIT,
     STAGE_APPLY,
@@ -86,8 +90,28 @@ PIPELINE_STAGES = (
 def trace_now() -> float:
     """Timestamp source for spans: always the wall monotonic clock, so
     publisher- and subscriber-side spans are comparable across threads
-    (ecosystem clocks may be virtual)."""
+    (ecosystem clocks may be virtual). *Not* comparable across processes
+    — the cluster plane estimates per-peer offsets and normalizes spans
+    at assembly time (repro.runtime.monitor.cluster)."""
     return DEFAULT_CLOCK.monotonic()
+
+
+# -- process shard identity -------------------------------------------------
+
+#: Name of the shard this process hosts ("" outside a sharded run). Set
+#: once by the shard worker entry point; every Span and Trace created
+#: afterwards is stamped with it, so spans arriving over the wire say
+#: which process's clock their timestamps belong to.
+_process_shard = ""
+
+
+def set_process_shard(name: str) -> None:
+    global _process_shard
+    _process_shard = name
+
+
+def process_shard() -> str:
+    return _process_shard
 
 
 # -- the active-trace context (exemplar support) ---------------------------
@@ -122,19 +146,35 @@ _trace_ids = itertools.count(1)
 class Span:
     """One timed pipeline stage of one message."""
 
-    __slots__ = ("stage", "start", "duration")
+    __slots__ = ("stage", "start", "duration", "shard")
 
-    def __init__(self, stage: str, start: float, duration: float) -> None:
+    def __init__(
+        self,
+        stage: str,
+        start: float,
+        duration: float,
+        shard: Optional[str] = None,
+    ) -> None:
         self.stage = stage
         self.start = start
         self.duration = duration
+        #: Which process recorded the span (its clock domain). Stamped
+        #: from the process shard by default; wire deserialization
+        #: preserves whatever the recording process said.
+        self.shard = _process_shard if shard is None else shard
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"stage": self.stage, "start": self.start, "duration": self.duration}
+        out = {"stage": self.stage, "start": self.start, "duration": self.duration}
+        if self.shard:
+            out["shard"] = self.shard
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Span":
-        return cls(data["stage"], data["start"], data["duration"])
+        return cls(
+            data["stage"], data["start"], data["duration"],
+            shard=data.get("shard", ""),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Span {self.stage} {self.duration * 1000:.3f}ms>"
@@ -149,10 +189,14 @@ class Trace:
         spans: Optional[List[Span]] = None,
         marks: Optional[Dict[str, float]] = None,
         trace_id: Optional[str] = None,
+        origin: Optional[str] = None,
     ) -> None:
         self.app = app
         self.spans: List[Span] = list(spans or [])
         self.marks: Dict[str, float] = dict(marks or {})
+        #: Shard the trace was born on ("" outside sharded runs). Rides
+        #: the wire so a receiving shard knows who started the trace.
+        self.origin = _process_shard if origin is None else origin
         #: Stable identity: standalone traces (audits) get a process-local
         #: serial; traces that attach to a message adopt the message uid,
         #: so an exemplar links straight to the offending message.
@@ -175,12 +219,15 @@ class Trace:
         return sum(matching)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "trace_id": self.trace_id,
             "app": self.app,
             "spans": [span.to_dict() for span in self.spans],
             "marks": self.marks,
         }
+        if self.origin:
+            out["origin"] = self.origin
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Trace":
@@ -189,6 +236,7 @@ class Trace:
             spans=[Span.from_dict(s) for s in data.get("spans", [])],
             marks=data.get("marks", {}),
             trace_id=data.get("trace_id"),
+            origin=data.get("origin", ""),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -237,6 +285,13 @@ class Tracer:
         self.sample_rate = sample_rate
         self.seed = seed
         self._finished: "deque[Trace]" = deque(maxlen=capacity)
+        #: Traces this process started but whose message finished
+        #: elsewhere (a forward shipped it to another shard): keyed by
+        #: trace_id — a fan-out to several remote queues records once —
+        #: with FIFO eviction at the same capacity as finished traces.
+        self._partials: Dict[str, Trace] = {}
+        self._partial_order: "deque[str]" = deque()
+        self._capacity = capacity
         self._lock = threading.Lock()
         #: Finished traces are also handed here (the ecosystem points it
         #: at ``FlightRecorder.record_trace``).
@@ -315,6 +370,22 @@ class Tracer:
         if self.sink is not None:
             self.sink(trace)
 
+    def record_partial(self, trace: Trace) -> None:
+        """The publisher side of a forwarded message: the trace left on
+        the wire, but this process keeps its own spans (intercept, route,
+        forward) so ``trace_fetch`` can serve the origin half."""
+        with self._lock:
+            if trace.trace_id not in self._partials:
+                self._partial_order.append(trace.trace_id)
+                while len(self._partial_order) > self._capacity:
+                    self._partials.pop(self._partial_order.popleft(), None)
+            self._partials[trace.trace_id] = trace
+
+    def partials(self) -> List[Trace]:
+        with self._lock:
+            return [self._partials[tid] for tid in self._partial_order
+                    if tid in self._partials]
+
     def finished(self) -> List[Trace]:
         with self._lock:
             return list(self._finished)
@@ -326,6 +397,8 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._finished.clear()
+            self._partials.clear()
+            self._partial_order.clear()
 
 
 def format_trace(trace: Trace) -> List[str]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ControlPlaneError
+from repro.runtime.tracing import current_trace, process_shard
 from repro.runtime.transport.envelopes import ControlRequest, ControlResponse
 from repro.runtime.transport.handler import ControlPlaneHandler
 
@@ -83,8 +84,15 @@ class ControlPlane:
 
     def register_service(self, service: Any) -> ControlPlaneHandler:
         handler = ControlPlaneHandler(service)
-        self._handlers[service.name] = handler
+        self.register_handler(service.name, handler)
         return handler
+
+    def register_handler(self, name: str, handler: Any) -> None:
+        """Register a non-service handler (anything with a ``handle``
+        method taking a :class:`ControlRequest`) under ``name`` — the
+        cluster observability plane registers per-shard pseudo-services
+        (``_shard:<name>``) this way."""
+        self._handlers[name] = handler
 
     def add_route(self, service_name: str, transport: Transport) -> None:
         """Answer requests for ``service_name`` via ``transport`` instead
@@ -104,6 +112,17 @@ class ControlPlane:
     def request(self, service_name: str, op: str,
                 timeout: Optional[float] = None, **params: Any) -> Dict[str, Any]:
         envelope = ControlRequest(service=service_name, op=op, params=params)
+        active = current_trace()
+        if active is not None and getattr(active, "trace_id", None):
+            # Control work done on behalf of a sampled message joins its
+            # trace: the serving side records a ``control.<op>`` span
+            # under the same trace_id (cross-shard trace assembly).
+            envelope.trace = {
+                "trace_id": active.trace_id,
+                "sampled": True,
+                "parent": active.spans[-1].stage if active.spans else "",
+                "origin": process_shard(),
+            }
         transport = self._routes.get(service_name, self._loopback)
         response = transport.request(
             envelope, timeout if timeout is not None else self.default_timeout

@@ -23,7 +23,7 @@ callables by reference.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.runtime.transport.shard import ShardRunner
 
@@ -37,6 +37,14 @@ DEMO_PLACEMENT = {
 
 #: Workload size knob (environment so it reaches the worker processes).
 OPS_ENV = "REPRO_SHARD_OPS"
+
+#: Trace sample rate for the demo shards ("1.0" = every message carries
+#: its trace across the wire; unset/0 = tracing off).
+TRACE_ENV = "REPRO_SHARD_TRACE"
+
+#: Name of the shard that injects an impossible SLO during verify (the
+#: correlated-postmortem demo: its breach dump pulls every peer's too).
+BREACH_ENV = "REPRO_SHARD_BREACH"
 
 
 def _subscribe_social(ecosystem: Any, name: str, from_app: str) -> Any:
@@ -81,6 +89,9 @@ def build_demo_ecosystem() -> Any:
     _subscribe_social(ecosystem, "feed1", "social1")
     _subscribe_social(ecosystem, "mirror0", "social0")
     _subscribe_social(ecosystem, "mirror1", "social1")
+    sample_rate = float(os.environ.get(TRACE_ENV, "0") or 0.0)
+    if sample_rate > 0.0:
+        ecosystem.enable_tracing(sample_rate=sample_rate)
     return ecosystem
 
 
@@ -113,11 +124,50 @@ def demo_scenario(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
     }
 
 
+def inject_lag_breach(ecosystem: Any) -> Dict[str, Any]:
+    """Pin an impossible SLO on a link this shard publishes to, push a
+    few real writes through it, and evaluate: the guaranteed
+    ``slo.breach`` anomaly drives the flight recorder's auto-dump, whose
+    incident sink broadcasts the incident id to every peer shard (the
+    correlated-postmortem path, end to end)."""
+    from repro.runtime.monitor import LinkSLO
+
+    links = ecosystem.monitor.links()
+    if not links:
+        return {"injected": False}
+    # Prefer the cross-shard link (publisher on another shard): the
+    # postmortem question is then "what was the *other* process doing".
+    owned = ecosystem.owned_services or set()
+    publisher, subscriber = next(
+        ((pub, sub) for pub, sub in links if pub not in owned), links[0]
+    )
+    ecosystem.monitor.set_slo(
+        publisher, subscriber, LinkSLO(p99_lag=0.0, over_budget=0.001)
+    )
+    # set_slo resets the lag window, so feed it post-SLO samples the way
+    # the apply path would — every one of them over the 0-second budget.
+    window = ecosystem.monitor._window_for(publisher, subscriber)
+    for _ in range(8):
+        window.record(0.5)
+    report = ecosystem.monitor.health()
+    entry = report.link(publisher, subscriber)
+    return {
+        "injected": True,
+        "link": [publisher, subscriber],
+        "breached": bool(entry is not None and entry.breached),
+        "dumps": list(ecosystem.recorder.dumps),
+    }
+
+
 def demo_verify(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
     """Audit every owned subscriber, then lose-and-repair one mirror row
     across the process boundary."""
     from repro.repair.auditor import ReplicationAuditor
     from repro.repair.repairer import repair_subscriber
+
+    breach: Optional[Dict[str, Any]] = None
+    if os.environ.get(BREACH_ENV) == shard_name:
+        breach = inject_lag_breach(ecosystem)
 
     audits: Dict[str, Dict[str, Any]] = {}
     for service in ecosystem.local_services():
@@ -150,20 +200,125 @@ def demo_verify(ecosystem: Any, shard_name: str) -> Dict[str, Any]:
             objects_repaired=result.objects_repaired,
             verified_in_sync=result.verified_in_sync,
         )
-    return {"audits": audits, "repair": repair_summary}
+    out: Dict[str, Any] = {"audits": audits, "repair": repair_summary}
+    if breach is not None:
+        out["breach"] = breach
+    return out
 
 
-def run_demo(operations: int = 60, timeout: float = 60.0) -> Dict[str, Any]:
+def _set_env(name: str, value: Optional[str]) -> None:
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = value
+
+
+def run_demo(
+    operations: int = 60,
+    timeout: float = 60.0,
+    trace_sample: Optional[float] = None,
+    breach_shard: Optional[str] = None,
+    incident_dir: Optional[str] = None,
+) -> Dict[str, Any]:
     """Build the runner and drive the full 2-shard demo."""
     os.environ[OPS_ENV] = str(operations)
+    _set_env(TRACE_ENV, None if trace_sample is None else str(trace_sample))
+    _set_env(BREACH_ENV, breach_shard)
+    try:
+        runner = ShardRunner(
+            build_demo_ecosystem,
+            DEMO_PLACEMENT,
+            scenario=demo_scenario,
+            verify=demo_verify,
+            timeout=timeout,
+            incident_dir=incident_dir,
+        )
+        return runner.run()
+    finally:
+        _set_env(TRACE_ENV, None)
+        _set_env(BREACH_ENV, None)
+
+
+def run_trace_demo(
+    uid: Optional[str] = None,
+    operations: int = 40,
+    timeout: float = 60.0,
+) -> Optional[Dict[str, Any]]:
+    """Run the 2-shard demo with 100% sampling and fetch one assembled
+    cross-shard trace (the requested ``uid``, else the first uid that
+    both shards hold spans for). Returns the assembled dict, or None
+    when no trace matched."""
+    os.environ[OPS_ENV] = str(operations)
+    _set_env(TRACE_ENV, "1.0")
     runner = ShardRunner(
         build_demo_ecosystem,
         DEMO_PLACEMENT,
         scenario=demo_scenario,
-        verify=demo_verify,
         timeout=timeout,
     )
-    return runner.run()
+    try:
+        runner.start()
+        runner.run_scenarios()
+        runner.quiesce()
+        if uid is None:
+            report = runner.cluster_request("trace_ids")
+            holders: Dict[str, set] = {}
+            for shard, result in report["shards"].items():
+                for trace_id in result["ids"]:
+                    holders.setdefault(trace_id, set()).add(shard)
+            cross = sorted(t for t, s in holders.items() if len(s) >= 2)
+            uid = cross[0] if cross else min(holders, default=None)
+        assembled = (
+            runner.cluster_request("trace_fetch", uid=uid)
+            if uid is not None else None
+        )
+        runner.finish()
+        return assembled
+    finally:
+        _set_env(TRACE_ENV, None)
+        runner.close()
+
+
+def trace_command(args: Any) -> int:
+    """``python -m repro trace [<uid>] [--operations N] [--timeout S]``.
+
+    Drives the 2-shard demo with every message sampled, assembles the
+    requested (or first cross-shard) trace from both OS processes, and
+    prints it with normalized timestamps, per-hop transit latency and
+    the critical path. Exit 0 iff spans from at least two shards landed
+    in one assembled trace."""
+    from repro.runtime.monitor.cluster import format_assembled_trace
+
+    uid = None
+    skip = False
+    for arg in args:
+        if skip:
+            skip = False
+            continue
+        if arg.startswith("--"):
+            skip = True  # every flag of this command takes a value
+            continue
+        uid = arg
+        break
+
+    def _flag(name: str, default: float) -> float:
+        if name in args:
+            return float(args[args.index(name) + 1])
+        return default
+
+    operations = int(_flag("--operations", 40))
+    timeout = _flag("--timeout", 60.0)
+    assembled = run_trace_demo(uid=uid, operations=operations,
+                               timeout=timeout)
+    if assembled is None:
+        print("no sampled traces were recorded by either shard")
+        return 1
+    for line in format_assembled_trace(assembled):
+        print(line)
+    if assembled["found"] and len(assembled["shards"]) >= 2:
+        return 0
+    print("FAILED: expected spans from at least two shards")
+    return 1
 
 
 def shard_command(args: Any) -> int:

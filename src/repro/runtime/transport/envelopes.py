@@ -22,7 +22,11 @@ from typing import Any, Dict, Optional
 from repro.errors import TransportError, TransportSerializationError
 
 #: Bump when an envelope field changes meaning; receivers reject newer.
-CONTROL_WIRE_VERSION = 1
+#: v2: requests may carry an optional ``trace`` context (trace_id,
+#: sampled flag, parent span, origin shard) so control-plane work done
+#: on behalf of a traced message joins its trace; v1 envelopes — which
+#: simply omit it — are still accepted.
+CONTROL_WIRE_VERSION = 2
 
 _req_seq = itertools.count(1)
 _req_lock = threading.Lock()
@@ -46,6 +50,7 @@ class ControlRequest:
         op: str,
         params: Optional[Dict[str, Any]] = None,
         request_id: Optional[str] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> None:
         if request_id is None:
             with _req_lock:
@@ -54,17 +59,23 @@ class ControlRequest:
         self.service = service
         self.op = op
         self.params: Dict[str, Any] = dict(params or {})
+        #: Optional trace context — {"trace_id", "sampled", "parent",
+        #: "origin"} — when this request is issued on behalf of a sampled
+        #: message (the server side records a ``control.<op>`` span).
+        self.trace: Optional[Dict[str, Any]] = trace
 
     def to_json(self) -> str:
+        payload: Dict[str, Any] = {
+            "wire_version": CONTROL_WIRE_VERSION,
+            "request_id": self.request_id,
+            "service": self.service,
+            "op": self.op,
+            "params": self.params,
+        }
+        if self.trace:
+            payload["trace"] = self.trace
         return _encode(
-            {
-                "wire_version": CONTROL_WIRE_VERSION,
-                "request_id": self.request_id,
-                "service": self.service,
-                "op": self.op,
-                "params": self.params,
-            },
-            f"control request {self.op!r} to {self.service!r}",
+            payload, f"control request {self.op!r} to {self.service!r}"
         )
 
     @classmethod
@@ -81,6 +92,7 @@ class ControlRequest:
             op=data["op"],
             params=data.get("params"),
             request_id=data.get("request_id"),
+            trace=data.get("trace"),
         )
 
     def __repr__(self) -> str:

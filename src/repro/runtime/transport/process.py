@@ -53,7 +53,7 @@ class PeerLink:
         self.conn = conn
         self.name = name
         self.recorder = recorder
-        #: request JSON -> response JSON, run on the reader thread.
+        #: request JSON -> response JSON, run on a per-request thread.
         self._dispatch = dispatch
         #: (subscriber_app, message JSON) -> enqueue locally.
         self._data_sink = data_sink
@@ -124,11 +124,17 @@ class PeerLink:
                 break
             kind = frame[0]
             if kind == FRAME_CTRL_REQ:
-                try:
-                    response_json = self._dispatch(frame[1])
-                    self.send((FRAME_CTRL_RESP, response_json))
-                except TransportError:
-                    break
+                # Serve off the reader thread: a handler may itself
+                # issue a control request back to this peer (e.g. a
+                # federated health_report whose SLO evaluation reads the
+                # publisher's watermarks), and its response can only be
+                # demultiplexed here — serving inline would deadlock.
+                threading.Thread(
+                    target=self._serve_request,
+                    args=(frame[1],),
+                    name=f"peerlink-{self.name}-serve",
+                    daemon=True,
+                ).start()
             elif kind == FRAME_CTRL_RESP:
                 response = ControlResponse.from_json(frame[1])
                 with self._pending_lock:
@@ -143,6 +149,12 @@ class PeerLink:
             elif kind == FRAME_STOP:
                 break
         self._mark_dead()
+
+    def _serve_request(self, request_json: str) -> None:
+        try:
+            self.send((FRAME_CTRL_RESP, self._dispatch(request_json)))
+        except TransportError:
+            pass  # link died mid-serve; _mark_dead already ran
 
     # -- request/response ----------------------------------------------------
 
@@ -208,8 +220,9 @@ class ProcessTransport:
 
 
 def make_dispatcher(control_plane: Any) -> Callable[[str], str]:
-    """The server half: request JSON in, response JSON out, run on the
-    link's reader thread against the local handler table."""
+    """The server half: request JSON in, response JSON out, run on a
+    per-request serve thread against the local handler table."""
+    from repro.runtime.tracing import trace_now
     from repro.runtime.transport.control import dispatch_request
 
     def dispatch(request_json: str) -> str:
@@ -219,7 +232,19 @@ def make_dispatcher(control_plane: Any) -> Callable[[str], str]:
             return ControlResponse.failure(
                 "unparsed", type(exc).__name__, str(exc)
             ).to_json()
+        start = trace_now()
         response = dispatch_request(control_plane.handlers(), request)
+        if request.trace:
+            # The requester works under a sampled trace: record serving
+            # this op as a span of that trace, on this shard's clock.
+            cluster = getattr(
+                getattr(control_plane, "ecosystem", None), "cluster", None
+            )
+            if cluster is not None:
+                cluster.record_remote_span(
+                    request.trace, f"control.{request.op}",
+                    start, trace_now() - start,
+                )
         try:
             return response.to_json()
         except Exception as exc:

@@ -18,6 +18,15 @@ then narrows ``ecosystem.owned_services`` to its own placement. Nothing
 else is shared: no sockets to a common interpreter, no shared memory —
 the shards are real processes with their own GIL, which is the point.
 
+Each worker also installs a
+:class:`~repro.runtime.monitor.cluster.ClusterPlane`: the shard's name
+is stamped on every span it records, a ``_shard:<name>`` pseudo-service
+answers cluster federation ops (metrics/health/trace/flight-dump), and
+— when ``incident_dir`` is set — anomaly dumps are broadcast so every
+shard freezes its matching window into one incident directory. The
+parent can reach the federation through :meth:`ShardRunner.
+cluster_request`, which relays one op through the first shard.
+
 The builder, scenario and verify callables must be module-level
 functions (the spawn start method pickles them by reference).
 """
@@ -27,33 +36,31 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import TransportError, TransportTimeout
+from repro.runtime.monitor.cluster import (
+    ClusterPlane,
+    QUIESCENT_POLLS,
+    cluster_quiesce,
+    shard_service,
+)
+from repro.runtime.tracing import set_process_shard
 from repro.runtime.transport.process import (
     PeerLink,
     ProcessTransport,
     make_dispatcher,
 )
 
-#: Consecutive stable all-idle polls required before the mesh counts as
-#: quiescent (one poll can race a forwarded payload still in a pipe).
-QUIESCENT_POLLS = 2
+__all__ = [
+    "QUIESCENT_POLLS",
+    "ShardRunner",
+]
 
 
 def _drain_local(ecosystem: Any) -> None:
     for service in ecosystem.local_services():
         service.subscriber.drain()
-
-
-def _idle_state(ecosystem: Any, links: Dict[str, PeerLink]) -> Dict[str, int]:
-    backlog = sum(ecosystem.broker.backlog().values())
-    in_flight = sum(ecosystem.broker.in_flight().values())
-    return {
-        "idle": int(backlog == 0 and in_flight == 0),
-        "sent": sum(link.data_sent for link in links.values()),
-        "received": sum(link.data_received for link in links.values()),
-    }
 
 
 def _shard_main(
@@ -65,9 +72,11 @@ def _shard_main(
     command_conn: Any,
     peer_conns: Dict[str, Any],
     durability_dir: Optional[str] = None,
+    incident_dir: Optional[str] = None,
 ) -> None:
     """Worker-process entry point: build, wire the seams, serve commands."""
     try:
+        set_process_shard(shard_name)
         ecosystem = builder()
         owned = set(placement[shard_name])
         ecosystem.owned_services = owned
@@ -77,7 +86,25 @@ def _shard_main(
             for service_name in services
         }
 
+        # The cluster observability plane is installed (handler first)
+        # before any peer link starts: a fast peer may probe our clock
+        # the moment its end of the pipe is live.
         links: Dict[str, PeerLink] = {}
+        cluster = ClusterPlane(
+            ecosystem,
+            shard_name,
+            peers=tuple(peer_conns),
+            links=links,
+            incident_root=(
+                os.path.join(incident_dir, "incidents")
+                if incident_dir is not None else None
+            ),
+        ).install()
+        if incident_dir is not None and ecosystem.recorder.dump_dir is None:
+            # Arm per-shard auto-dumps too (enable_durability respects an
+            # already-set dump_dir, so ordering here is safe either way).
+            ecosystem.recorder.dump_dir = os.path.join(incident_dir, shard_name)
+
         for peer, conn in peer_conns.items():
             links[peer] = PeerLink(
                 conn,
@@ -91,6 +118,10 @@ def _shard_main(
                 ecosystem.control.add_route(
                     service_name, ProcessTransport(links[owner])
                 )
+        for peer in links:
+            ecosystem.control.add_route(
+                shard_service(peer), ProcessTransport(links[peer])
+            )
         ecosystem.broker.attach_placement(
             lambda sub: owner_of.get(sub, shard_name) == shard_name,
             lambda sub, payload: links[owner_of[sub]].send_data(sub, payload),
@@ -126,7 +157,29 @@ def _shard_main(
                 command_conn.send(("scenario_done", result))
             elif kind == "idle?":
                 _drain_local(ecosystem)
-                command_conn.send(("idle", _idle_state(ecosystem, links)))
+                command_conn.send(("idle", cluster.local_idle_state()))
+            elif kind == "quiesce":
+                # Mesh-wide quiescence driven from inside this shard:
+                # peers drain as part of answering health_report ops.
+                quiesce_timeout = frame[1] if len(frame) > 1 else 30.0
+                try:
+                    polls = cluster_quiesce(ecosystem, timeout=quiesce_timeout)
+                    command_conn.send(
+                        ("quiesced", {"quiesced": True, "polls": polls})
+                    )
+                except TransportTimeout:
+                    command_conn.send(
+                        ("quiesced", {"quiesced": False, "polls": -1})
+                    )
+            elif kind == "cluster":
+                # A federated observability op relayed for the parent
+                # CLI; failures answer structured, the shard stays up.
+                op, params = frame[1], frame[2] if len(frame) > 2 else {}
+                try:
+                    result = cluster.serve(op, params)
+                except Exception as exc:
+                    result = {"error": f"{type(exc).__name__}: {exc}"}
+                command_conn.send(("cluster_result", result))
             elif kind == "verify":
                 result = verify(ecosystem, shard_name) if verify else {}
                 command_conn.send(("verified", result))
@@ -174,6 +227,12 @@ class ShardRunner:
     (the per-shard workload); ``verify(ecosystem, shard_name)`` runs
     after the mesh quiesces (cross-shard audits ride the control plane).
     Both return JSON-ish dicts that :meth:`run` collects per shard.
+
+    :meth:`run` drives the whole lifecycle in one call; the phase
+    methods (:meth:`start`, :meth:`run_scenarios`, :meth:`quiesce`,
+    :meth:`run_verify`, :meth:`finish`, :meth:`close`) are also public
+    so interactive drivers — ``watch --cluster`` rounds, the ``trace``
+    CLI — can interleave workload rounds with federation pulls.
     """
 
     def __init__(
@@ -184,6 +243,7 @@ class ShardRunner:
         verify: Optional[Callable[[Any, str], Dict[str, Any]]] = None,
         timeout: float = 60.0,
         durability_dir: Optional[str] = None,
+        incident_dir: Optional[str] = None,
     ) -> None:
         if len(placement) < 1:
             raise ValueError("placement needs at least one shard")
@@ -196,15 +256,24 @@ class ShardRunner:
         #: When set, each shard WALs to ``<durability_dir>/<shard>/`` and
         #: restores from it on startup (docs/durability.md).
         self.durability_dir = durability_dir
+        #: When set, each shard arms flight-recorder auto-dumps under
+        #: ``<incident_dir>/<shard>/`` and correlated incident dumps
+        #: under ``<incident_dir>/incidents/<incident-id>/``.
+        self.incident_dir = incident_dir
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
             self._ctx = multiprocessing.get_context("spawn")
+        self.shards: List[str] = sorted(self.placement)
+        self._command: Dict[str, Any] = {}
+        self._processes: Dict[str, Any] = {}
+        self._started = False
 
     # -- parent-side protocol ------------------------------------------------
 
-    def _recv(self, conn: Any, shard: str, expected: str) -> Any:
-        if not conn.poll(self.timeout):
+    def _recv(self, conn: Any, shard: str, expected: str,
+              timeout: Optional[float] = None) -> Any:
+        if not conn.poll(timeout if timeout is not None else self.timeout):
             raise TransportTimeout(
                 f"shard {shard!r} sent no {expected!r} within "
                 f"{self.timeout:.0f}s"
@@ -221,38 +290,13 @@ class ShardRunner:
             )
         return frame[1] if len(frame) > 1 else None
 
-    def _await_quiescent(self, conns: Dict[str, Any]) -> int:
-        """Poll all shards until the mesh is drained: every shard idle and
-        every forwarded payload accounted for, stable across consecutive
-        polls (monotonic counters make sent==received mean empty pipes)."""
-        deadline = time.monotonic() + self.timeout
-        stable = 0
-        last: Optional[Tuple[int, int]] = None
-        polls = 0
-        while time.monotonic() < deadline:
-            polls += 1
-            for conn in conns.values():
-                conn.send(("idle?",))
-            states = [self._recv(conn, shard, "idle")
-                      for shard, conn in conns.items()]
-            sent = sum(state["sent"] for state in states)
-            received = sum(state["received"] for state in states)
-            if all(state["idle"] for state in states) and sent == received:
-                stable = stable + 1 if last == (sent, received) else 1
-                last = (sent, received)
-                if stable >= QUIESCENT_POLLS:
-                    return polls
-            else:
-                stable, last = 0, None
-            time.sleep(0.02)
-        raise TransportTimeout(
-            f"shard mesh did not quiesce within {self.timeout:.0f}s"
-        )
+    # -- lifecycle phases ----------------------------------------------------
 
-    def run(self) -> Dict[str, Any]:
-        """Start the shards, run the scenario everywhere, wait for the
-        mesh to drain, verify, and collect per-shard results."""
-        shards = sorted(self.placement)
+    def start(self) -> None:
+        """Spawn every shard process, wire the pipe mesh, await ready."""
+        if self._started:
+            raise TransportError("ShardRunner already started")
+        shards = self.shards
         # Full mesh of pair pipes plus one command pipe per shard.
         peer_conns: Dict[str, Dict[str, Any]] = {name: {} for name in shards}
         for i, a in enumerate(shards):
@@ -260,57 +304,118 @@ class ShardRunner:
                 end_a, end_b = self._ctx.Pipe()
                 peer_conns[a][b] = end_a
                 peer_conns[b][a] = end_b
-        command: Dict[str, Any] = {}
-        processes: Dict[str, Any] = {}
         for name in shards:
             parent_end, child_end = self._ctx.Pipe()
-            command[name] = parent_end
-            processes[name] = self._ctx.Process(
+            self._command[name] = parent_end
+            self._processes[name] = self._ctx.Process(
                 target=_shard_main,
                 name=f"shard-{name}",
                 args=(name, self.builder, self.placement, self.scenario,
                       self.verify, child_end, peer_conns[name],
-                      self.durability_dir),
+                      self.durability_dir, self.incident_dir),
             )
-        started = time.monotonic()
-        results: Dict[str, Any] = {name: {} for name in shards}
-        try:
-            for name in shards:
-                processes[name].start()
-            # The parent's copies of the pipe ends belong to the children.
-            for name in shards:
-                for conn in peer_conns[name].values():
-                    conn.close()
-            for name in shards:
-                self._recv(command[name], name, "ready")
-            for name in shards:
-                command[name].send(("run",))
-            for name in shards:
-                results[name]["scenario"] = self._recv(
-                    command[name], name, "scenario_done"
-                )
-            polls = self._await_quiescent(command)
-            for name in shards:
-                command[name].send(("verify",))
-            for name in shards:
-                results[name]["verify"] = self._recv(
-                    command[name], name, "verified"
-                )
-            for name in shards:
-                command[name].send(("finish",))
-            for name in shards:
-                results[name]["stats"] = self._recv(
-                    command[name], name, "result"
-                )
-            for name in shards:
-                processes[name].join(timeout=self.timeout)
-        finally:
-            for process in processes.values():
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=5.0)
-            for conn in command.values():
+        self._started = True
+        for name in shards:
+            self._processes[name].start()
+        # The parent's copies of the pipe ends belong to the children.
+        for name in shards:
+            for conn in peer_conns[name].values():
                 conn.close()
+        for name in shards:
+            self._recv(self._command[name], name, "ready")
+
+    def run_scenarios(self) -> Dict[str, Any]:
+        """Run the scenario concurrently on every shard; collect results."""
+        for name in self.shards:
+            self._command[name].send(("run",))
+        return {
+            name: self._recv(self._command[name], name, "scenario_done")
+            for name in self.shards
+        }
+
+    def quiesce(self, shard: Optional[str] = None) -> int:
+        """Drain the whole mesh: delegate to one shard's
+        :func:`~repro.runtime.monitor.cluster.cluster_quiesce` (every
+        other shard drains while answering its ``health_report`` ops).
+        ``shard`` defaults to the first; a crash phase targets a
+        survivor explicitly. Returns the number of polls."""
+        target = shard if shard is not None else self.shards[0]
+        self._command[target].send(("quiesce", self.timeout))
+        result = self._recv(
+            self._command[target], target, "quiesced",
+            timeout=self.timeout + 10.0,
+        )
+        if not result["quiesced"]:
+            raise TransportTimeout(
+                f"shard mesh did not quiesce within {self.timeout:.0f}s"
+            )
+        return result["polls"]
+
+    def cluster_request(self, op: str, shard: Optional[str] = None,
+                        **params: Any) -> Dict[str, Any]:
+        """Relay one federated observability op (``metrics_dump``,
+        ``health_report``, ``trace_ids``, ``trace_fetch``, ``offsets``)
+        through ``shard`` (default: the first) and return its answer."""
+        target = shard if shard is not None else self.shards[0]
+        self._command[target].send(("cluster", op, params))
+        result = self._recv(self._command[target], target, "cluster_result")
+        if isinstance(result, dict) and "error" in result:
+            raise TransportError(
+                f"cluster op {op!r} via shard {target!r} failed: "
+                f"{result['error']}"
+            )
+        return result
+
+    def run_verify(self) -> Dict[str, Any]:
+        for name in self.shards:
+            self._command[name].send(("verify",))
+        return {
+            name: self._recv(self._command[name], name, "verified")
+            for name in self.shards
+        }
+
+    def finish(self) -> Dict[str, Any]:
+        """Final drain + per-shard stats; shard processes exit after."""
+        for name in self.shards:
+            self._command[name].send(("finish",))
+        stats = {
+            name: self._recv(self._command[name], name, "result")
+            for name in self.shards
+        }
+        for name in self.shards:
+            self._processes[name].join(timeout=self.timeout)
+        return stats
+
+    def close(self) -> None:
+        """Terminate anything still alive and release the pipes."""
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._command.values():
+            conn.close()
+        self._command.clear()
+        self._processes.clear()
+
+    # -- the one-call lifecycle ----------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        """Start the shards, run the scenario everywhere, wait for the
+        mesh to drain, verify, and collect per-shard results."""
+        started = time.monotonic()
+        results: Dict[str, Any] = {name: {} for name in self.shards}
+        try:
+            self.start()
+            scenarios = self.run_scenarios()
+            polls = self.quiesce()
+            verifies = self.run_verify()
+            stats = self.finish()
+            for name in self.shards:
+                results[name]["scenario"] = scenarios[name]
+                results[name]["verify"] = verifies[name]
+                results[name]["stats"] = stats[name]
+        finally:
+            self.close()
         return {
             "shards": results,
             "quiesce_polls": polls,

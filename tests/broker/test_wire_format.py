@@ -45,7 +45,7 @@ class TestMessageGolden:
     def test_plain_message_exact_payload(self):
         payload = json.loads(make_message().to_json())
         assert payload == {
-            "wire_version": 1,
+            "wire_version": 2,
             "uid": "pub:41",
             "app": "pub",
             "operations": [{
@@ -116,6 +116,13 @@ class TestMessageGolden:
         del data["wire_version"]
         assert Message.from_json(json.dumps(data)).uid == "pub:41"
 
+    def test_v1_payload_still_parses(self):
+        # Receivers refuse only *newer* versions: a v1 sender (pre
+        # trace-context shards) must interoperate with a v2 receiver.
+        data = json.loads(make_message().to_json())
+        data["wire_version"] = 1
+        assert Message.from_json(json.dumps(data)).uid == "pub:41"
+
 
 class TestControlEnvelopeGolden:
     def test_request_exact_payload(self):
@@ -126,17 +133,38 @@ class TestControlEnvelopeGolden:
             request_id="cp-9",
         )
         assert json.loads(request.to_json()) == {
-            "wire_version": 1,
+            "wire_version": 2,
             "request_id": "cp-9",
             "service": "social0",
             "op": "model_digest",
             "params": {"model": "Post", "leaves": 64},
         }
 
+    def test_request_trace_context_is_conditional(self):
+        # v2: a sampled caller attaches a trace context; plain requests
+        # stay byte-identical to v1 modulo the version field.
+        traced = ControlRequest(
+            service="social0",
+            op="ping",
+            request_id="cp-10",
+            trace={"trace_id": "pub:41", "sampled": True,
+                   "parent": "broker.route", "origin": "shard0"},
+        )
+        payload = json.loads(traced.to_json())
+        assert payload["trace"] == {
+            "trace_id": "pub:41", "sampled": True,
+            "parent": "broker.route", "origin": "shard0",
+        }
+        back = ControlRequest.from_json(traced.to_json())
+        assert back.trace == payload["trace"]
+        plain = ControlRequest("social0", "ping", request_id="cp-11")
+        assert "trace" not in json.loads(plain.to_json())
+        assert ControlRequest.from_json(plain.to_json()).trace is None
+
     def test_response_exact_payloads(self):
         ok = ControlResponse("cp-9", ok=True, result={"found": True})
         assert json.loads(ok.to_json()) == {
-            "wire_version": 1,
+            "wire_version": 2,
             "request_id": "cp-9",
             "ok": True,
             "result": {"found": True},
@@ -145,7 +173,7 @@ class TestControlEnvelopeGolden:
         }
         err = ControlResponse.failure("cp-9", "UnknownService", "no go")
         assert json.loads(err.to_json()) == {
-            "wire_version": 1,
+            "wire_version": 2,
             "request_id": "cp-9",
             "ok": False,
             "result": {},

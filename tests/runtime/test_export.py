@@ -146,3 +146,77 @@ class TestJsonExposition:
         link = payload["health"]["links"][0]
         assert link["backpressure"] == "open"
         assert link["credits"] == eco.broker.queue_for("sub").flow.credits
+
+
+class TestLabelEscaping:
+    """S1: hostile label values must not corrupt the exposition."""
+
+    HOSTILE = [
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        '\\"} evil_metric 42\n# TYPE evil',
+        'trailing\\',
+        '',
+    ]
+
+    def test_escape_round_trips_hostile_values(self):
+        from repro.runtime.monitor import (
+            escape_label_value,
+            unescape_label_value,
+        )
+
+        for value in self.HOSTILE:
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped
+            assert unescape_label_value(escaped) == value
+
+    def test_format_labels_escapes_and_sorts(self):
+        from repro.runtime.monitor import format_labels
+
+        rendered = format_labels({"shard": 'sh"ard\n1', "app": "a\\b"})
+        assert rendered == '{app="a\\\\b",shard="sh\\"ard\\n1"}'
+
+    def test_hostile_shard_name_survives_exposition_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("broker.routed").increment(7)
+        registry.histogram("subscriber.sub.dwell").record(0.25)
+        hostile = 'shard"0\\prod\nnode'
+        text = to_prometheus(registry, labels={"shard": hostile})
+        # The exposition itself stays line-parseable: no raw newline or
+        # unescaped quote leaked out of the label value.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert parse_prometheus(line + "\n") is not None
+        parsed = parse_prometheus(text)
+        from repro.runtime.monitor import format_labels
+
+        key = "repro_broker_routed" + format_labels({"shard": hostile})
+        assert parsed[key] == 7
+        summary_key = "repro_subscriber_sub_dwell" + format_labels(
+            {"shard": hostile}
+        )
+        summary = parsed[summary_key]
+        assert summary["labels"] == {"shard": hostile}
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(0.25)
+        assert set(summary["quantiles"]) == {"0.5", "0.99"}
+
+    def test_injection_attempt_stays_a_label_value(self):
+        registry = MetricsRegistry()
+        registry.counter("broker.routed").increment(1)
+        injection = '"} repro_fake_metric 999\nrepro_other 1'
+        text = to_prometheus(registry, labels={"shard": injection})
+        parsed = parse_prometheus(text)
+        # The payload stayed inside the label value: no sample *named*
+        # after the injected metric exists, and only one sample parsed.
+        assert not any(
+            key.startswith("repro_fake_metric") for key in parsed
+        )
+        assert not any(key.startswith("repro_other") for key in parsed)
+        from repro.runtime.monitor import format_labels
+
+        key = "repro_broker_routed" + format_labels({"shard": injection})
+        assert list(parsed) == [key]
+        assert parsed[key] == 1
