@@ -1,0 +1,168 @@
+"""CDC ingest cost: what does the outbox front-end pay vs the ORM path?
+
+The ORM interceptor publishes synchronously inside the write (versioning,
+marshalling, broker fan-out all on the caller's thread). A raw write
+commits only the data row plus its outbox record; the publish happens
+later, when the CDC poller tails the outbox. This bench measures both
+halves of that trade:
+
+- **ingest throughput** — writes/s as the caller observes them, ORM
+  create vs ``raw_session`` insert (poller off during the write loop);
+- **end-to-end cost** — raw write + its share of the poll pass, i.e.
+  what the write costs once the deferred publish is paid;
+- **poll lag** — commit-to-publish latency percentiles across repeated
+  write-then-poll rounds (the ``cdc.*.poll_lag`` histogram).
+
+Both variants replicate into the same subscriber topology, so the work
+per published message is identical past the front-end seam.
+
+Results land in ``BENCH_cdc.json`` at the repo root; set
+``REPRO_BENCH_QUICK=1`` for the small workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+from benchmarks.common import emit, format_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+#: Writes per variant in the throughput loop.
+WRITES = 300 if QUICK else 3000
+#: Write-then-poll rounds for the lag distribution.
+LAG_ROUNDS = 20 if QUICK else 100
+#: Raw writes per lag round.
+LAG_BATCH = 5
+
+_JSON_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                          "BENCH_cdc.json")
+
+
+def build_pipeline():
+    from repro.core import Ecosystem
+    from repro.databases.document import MongoLike
+    from repro.databases.relational import PostgresLike
+    from repro.orm import Field, Model
+
+    eco = Ecosystem()
+    pub = eco.service("pub", database=MongoLike("pub-db"),
+                      delivery_mode="causal")
+
+    @pub.model(publish=["name", "score"], name="Doc")
+    class Doc(Model):
+        name = Field(str)
+        score = Field(int, default=0)
+
+    sub = eco.service("sub", database=PostgresLike("sub-db"))
+
+    @sub.model(
+        subscribe={"from": "pub", "fields": ["name", "score"],
+                   "mode": "causal"},
+        name="Doc",
+    )
+    class SubDoc(Model):
+        name = Field(str)
+        score = Field(int, default=0)
+
+    pub.enable_outbox()
+    return eco, pub, sub, Doc
+
+
+def run_orm(writes: int) -> Dict[str, Any]:
+    eco, pub, sub, doc_cls = build_pipeline()
+    started = time.perf_counter()
+    with pub.controller():
+        for i in range(writes):
+            doc_cls.create(name=f"doc-{i}", score=i)
+    elapsed = time.perf_counter() - started
+    sub.subscriber.drain()
+    return {"writes": writes, "elapsed_s": elapsed,
+            "writes_per_s": writes / elapsed}
+
+
+def run_raw(writes: int) -> Dict[str, Any]:
+    eco, pub, sub, doc_cls = build_pipeline()
+    raw = pub.raw_session()
+    started = time.perf_counter()
+    for i in range(writes):
+        raw.insert(doc_cls, {"name": f"doc-{i}", "score": i})
+    write_elapsed = time.perf_counter() - started
+    poll_started = time.perf_counter()
+    published = eco.cdc.poll_all()
+    poll_elapsed = time.perf_counter() - poll_started
+    sub.subscriber.drain()
+    assert published == writes
+    return {
+        "writes": writes,
+        "elapsed_s": write_elapsed,
+        "writes_per_s": writes / write_elapsed,
+        "poll_s": poll_elapsed,
+        "end_to_end_per_s": writes / (write_elapsed + poll_elapsed),
+    }
+
+
+def run_lag() -> Dict[str, Any]:
+    """Commit-to-publish lag: write a small batch, poll, repeat; the
+    poller's ``poll_lag`` histogram collects the distribution."""
+    eco, pub, sub, doc_cls = build_pipeline()
+    raw = pub.raw_session()
+    for round_no in range(LAG_ROUNDS):
+        for i in range(LAG_BATCH):
+            raw.insert(doc_cls, {"name": f"lag-{round_no}-{i}", "score": i})
+        eco.cdc.poll_all()
+    sub.subscriber.drain()
+    stats = eco.metrics.snapshot()["cdc.pub.poll_lag"]
+    return {
+        "samples": stats["count"],
+        "p50_us": stats["p50"] * 1e6,
+        "p99_us": stats["p99"] * 1e6,
+        "mean_us": stats["mean"] * 1e6,
+    }
+
+
+def test_cdc_ingest():
+    """Raw-write ingest is at least as fast as the ORM intercept path
+    (the publish is deferred to the poller), and commit-to-publish lag
+    stays bounded."""
+    orm = run_orm(WRITES)
+    raw = run_raw(WRITES)
+    lag = run_lag()
+
+    emit(format_table(
+        f"CDC ingest: {WRITES} writes per variant"
+        f"{' (quick)' if QUICK else ''}",
+        ["variant", "writes/s", "end-to-end writes/s"],
+        [["orm intercept", f"{orm['writes_per_s']:,.0f}",
+          f"{orm['writes_per_s']:,.0f}"],
+         ["raw + outbox", f"{raw['writes_per_s']:,.0f}",
+          f"{raw['end_to_end_per_s']:,.0f}"]],
+    ) + [
+        f"poll lag over {lag['samples']} entries: "
+        f"p50={lag['p50_us']:.0f}us p99={lag['p99_us']:.0f}us "
+        f"mean={lag['mean_us']:.0f}us",
+    ])
+
+    with open(_JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump({
+            "benchmark": "cdc_ingest",
+            "quick": QUICK,
+            "writes": WRITES,
+            "orm": orm,
+            "raw": raw,
+            "poll_lag": lag,
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # The caller-observed raw write must not be slower than the ORM
+    # intercept (generous 0.5x floor: the point is it defers the
+    # publish, not that engines are fast today).
+    assert raw["writes_per_s"] > 0.5 * orm["writes_per_s"]
+    assert lag["samples"] == LAG_ROUNDS * LAG_BATCH
+
+
+if __name__ == "__main__":  # pragma: no cover - CI smoke entry point
+    test_cdc_ingest()
+    print(f"wrote {_JSON_PATH}")

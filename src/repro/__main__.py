@@ -56,6 +56,13 @@ Commands:
         transition, one is kill -9'd mid-traffic, and a restart over
         the same data directory restores it from snapshot + WAL
         replay; exits 0 iff the restored mesh ends audit-clean
+    saga --demo [--sagas N] [--mode causal|global|weak] [--seed K]
+        CDC saga scenario: order/payment/inventory sagas through both
+        front-ends — ORM writes plus raw writes via the transactional
+        outbox — with declined payments compensated by raw releases;
+        proves the inventory balance invariant and digest-equal
+        replicas, then injects a broker loss and heals it with
+        targeted repair; exits 0 iff converged, balanced and healed
     repair --demo [--objects N] [--lose K]
         reproduce the §6.5 message-loss incident (lost write-messages
         wedging a causal subscriber), audit replica divergence with
@@ -270,6 +277,10 @@ def main(argv: list) -> int:
         from repro.durability.demo import recover_command
 
         return recover_command(args)
+    if command == "saga":
+        from repro.cdc.demo import saga_command
+
+        return saga_command(args)
     if command == "repair":
         def _flag(name: str, default: int) -> int:
             if name in args:

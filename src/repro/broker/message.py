@@ -21,8 +21,11 @@ from repro.runtime.tracing import Trace
 #: meaning; receivers refuse payloads from a *newer* schema instead of
 #: silently misreading them. v2: the optional ``trace`` dict may carry
 #: per-span ``shard`` tags and a trace ``origin`` (cross-shard tracing);
-#: v1 payloads — which simply omit them — are still accepted.
-WIRE_VERSION = 2
+#: v3: the optional ``cdc`` int tags messages ingested from a
+#: transactional outbox with their outbox sequence number. v1/v2
+#: payloads — which simply omit the optional fields — are still
+#: accepted.
+WIRE_VERSION = 3
 
 _seq = itertools.count(1)
 _seq_lock = threading.Lock()
@@ -45,6 +48,7 @@ class Message:
         trace: Optional[Trace] = None,
         coalesced_uids: Optional[List[str]] = None,
         increments: Optional[Dict[str, int]] = None,
+        cdc: Optional[int] = None,
     ) -> None:
         with _seq_lock:
             self.seq = next(_seq)  # broker-side FIFO tiebreaker
@@ -79,6 +83,12 @@ class Message:
         self.increments: Optional[Dict[str, int]] = (
             dict(increments) if increments else None
         )
+        #: Outbox sequence number when this message was ingested by the
+        #: CDC poller from a transactional outbox (``None`` for ORM
+        #: writes). CDC messages are exempt from weak-mode shedding:
+        #: once the poller's cursor passes an entry, a shed would lose
+        #: it until the next anti-entropy repair.
+        self.cdc: Optional[int] = cdc
         self.delivery_count = 0
         #: Queue-local dwell bookkeeping (set by ``SubscriberQueue``):
         #: runtime state of one queue's copy, never serialised.
@@ -102,6 +112,8 @@ class Message:
             payload["coalesced_uids"] = self.coalesced_uids
         if self.increments:
             payload["increments"] = self.increments
+        if self.cdc is not None:
+            payload["cdc"] = self.cdc
         if self.trace is not None:
             payload["trace"] = self.trace.to_dict()
         return json.dumps(payload)
@@ -128,6 +140,7 @@ class Message:
             trace=Trace.from_dict(data["trace"]) if data.get("trace") else None,
             coalesced_uids=data.get("coalesced_uids"),
             increments=data.get("increments"),
+            cdc=data.get("cdc"),
         )
 
     def counter_increments(self) -> Dict[str, int]:

@@ -1,0 +1,31 @@
+"""CDC / transactional-outbox ingest front-end (docs/cdc.md).
+
+The second intercept front-end closing the paper's §7 gap: raw writes
+that bypass the ORM commit a sequenced outbox record in the same engine
+transaction, a CDC poller tails the outbox in commit order into the
+ordinary publisher path, and the cursor is checkpointed through the
+durability WAL so a kill -9 mid-tail resumes without loss.
+"""
+
+from repro.cdc.manager import CdcManager
+from repro.cdc.outbox import (
+    OUTBOX_MODEL_NAME,
+    OUTBOX_VERSION,
+    OutboxTable,
+    RawSession,
+    check_entry_version,
+    entry_row,
+)
+from repro.cdc.poller import CdcPoller, PollCrash
+
+__all__ = [
+    "CdcManager",
+    "CdcPoller",
+    "OutboxTable",
+    "OUTBOX_MODEL_NAME",
+    "OUTBOX_VERSION",
+    "PollCrash",
+    "RawSession",
+    "check_entry_version",
+    "entry_row",
+]

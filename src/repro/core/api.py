@@ -103,6 +103,9 @@ class Ecosystem:
         #: DurabilityManager once :meth:`enable_durability` has run;
         #: None keeps the in-memory-only pipeline byte-for-byte.
         self.durability = None
+        #: CdcManager once :meth:`enable_cdc` has run (or the first
+        #: ``Service.enable_outbox``); None means no raw-write front-end.
+        self.cdc = None
         self.services: Dict[str, Service] = {}
         #: Control plane: every cross-service interaction that is not a
         #: broker write-message (bootstrap snapshots, digest exchange,
@@ -218,6 +221,19 @@ class Ecosystem:
             _os.makedirs(self.recorder.dump_dir, exist_ok=True)
         return manager
 
+    def enable_cdc(self) -> Any:
+        """Switch on the CDC / transactional-outbox front-end
+        (docs/cdc.md) and return the :class:`~repro.cdc.CdcManager`.
+
+        Services opt in per-service with ``enable_outbox()`` /
+        ``raw_session()``; the manager tails every registered outbox
+        into the ordinary publisher path. Idempotent."""
+        if self.cdc is None:
+            from repro.cdc import CdcManager
+
+            self.cdc = CdcManager(self)
+        return self.cdc
+
     def service(self, name: str, **kwargs: Any) -> "Service":
         if name in self.services:
             raise SynapseError(f"service {name!r} already exists")
@@ -228,10 +244,16 @@ class Ecosystem:
 
     def drain_all(self, max_rounds: int = 100) -> int:
         """Run every locally-owned subscriber until this process is
-        quiescent — decorator cascades can need several rounds."""
+        quiescent — decorator cascades can need several rounds. With
+        CDC enabled, each round first tails the outboxes: a raw write
+        followed immediately by ``drain_all`` must land at subscribers,
+        and the process is not quiescent while an outbox tail is
+        non-empty."""
         total = 0
         for _ in range(max_rounds):
             progressed = 0
+            if self.cdc is not None:
+                progressed += self.cdc.poll_all()
             for service in self.local_services():
                 progressed += service.subscriber.drain()
             total += progressed
@@ -280,6 +302,10 @@ class Service:
         #: ViewManager once :meth:`enable_views` has run; None keeps the
         #: apply path byte-for-byte (no extra engine reads, no cache).
         self.views = None
+        #: OutboxTable / CdcPoller once :meth:`enable_outbox` has run;
+        #: None means no raw-write front-end for this service.
+        self.outbox = None
+        self.cdc_poller = None
         if database is not None:
             # Engine op-stats feed the shared registry (engine.<name>.*).
             database.bind_metrics(ecosystem.metrics)
@@ -460,6 +486,31 @@ class Service:
 
             self.views = ViewManager(self, cache=cache, kv=kv)
         return self.views
+
+    # ------------------------------------------------------------------
+    # CDC / transactional-outbox front-end (docs/cdc.md)
+    # ------------------------------------------------------------------
+
+    def enable_outbox(self) -> Any:
+        """Arm this service's transactional outbox and register its CDC
+        poller with the ecosystem's :class:`~repro.cdc.CdcManager`.
+        Returns the :class:`~repro.cdc.OutboxTable`. Idempotent."""
+        if self.outbox is None:
+            from repro.cdc import OutboxTable
+
+            manager = self.ecosystem.enable_cdc()
+            self.outbox = OutboxTable(self)
+            self.cdc_poller = manager.register(self)
+        return self.outbox
+
+    def raw_session(self) -> Any:
+        """An ORM-bypassing write session: every insert/update/delete
+        commits its data row and a sequenced outbox record in the same
+        engine transaction, replicated by the CDC poller with the same
+        delivery semantics as ORM writes."""
+        from repro.cdc import RawSession
+
+        return RawSession(self.enable_outbox())
 
     # ------------------------------------------------------------------
     # Remote-application guard (subscriber persisting remote updates)

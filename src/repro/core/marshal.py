@@ -65,6 +65,8 @@ def build_message(
     external_dependencies: Optional[Dict[str, int]] = None,
     bootstrap: bool = False,
     repair: bool = False,
+    uid: Optional[str] = None,
+    cdc: Optional[int] = None,
 ) -> Message:
     return Message(
         app=app,
@@ -75,4 +77,6 @@ def build_message(
         bootstrap=bootstrap,
         repair=repair,
         external_dependencies=external_dependencies,
+        uid=uid,
+        cdc=cdc,
     )

@@ -19,6 +19,13 @@ that orders the transition, so WAL order equals effect order:
 ``apply``  a subscriber finished applying a message
 ``gen``    subscriber flushed counters for a publisher generation bump
 ``pubgen`` publisher generation bump (version-store death, §4.4)
+``obx``    a raw write committed a transactional-outbox entry (engines
+           are in-memory: without this a crash before the CDC poll
+           would lose the raw write entirely)
+``cdc``    CDC poller cursor checkpoint (end of each poll batch); the
+           ``out`` record of every CDC publish also piggybacks the
+           cursor as ``cur``, making cursor-advance atomic with the
+           publisher-counter capture
 =========  =============================================================
 
 :meth:`restore` is ARIES-lite: load the latest valid snapshot, replay
@@ -122,6 +129,10 @@ class DurabilityManager:
         #: True while :meth:`restore` runs: every log hook is a no-op so
         #: replayed effects are not re-logged.
         self._restoring = False
+        #: Restored CDC poller cursors (service -> outbox seq), built
+        #: set-to-max from snapshot + ``cdc``/``out`` records and pushed
+        #: into the live pollers at the end of :meth:`restore`.
+        self.cdc_cursors: Dict[str, int] = {}
         metrics = ecosystem.metrics
         self._snap_count = metrics.counter("durability.snapshot.count")
         self._replayed = metrics.counter("durability.restore.replayed")
@@ -157,10 +168,15 @@ class DurabilityManager:
                 pvs.kv.hget(key, "ops") or 0,
                 pvs.kv.hget(key, "version") or 0,
             ]
-        self._append(
-            {"t": "out", "app": message.app, "m": wire_payload(message),
-             "vs": counters}
-        )
+        rec = {"t": "out", "app": message.app, "m": wire_payload(message),
+               "vs": counters}
+        if message.cdc is not None:
+            # Piggybacked cursor: advancing past this outbox entry is
+            # atomic with capturing the counters its publish bumped —
+            # a crash can never leave the counters durable but the
+            # cursor behind (which would republish and double-bump).
+            rec["cur"] = message.cdc
+        self._append(rec)
         self.maybe_snapshot()
 
     def log_pub(self, queue_name: str, message: Message) -> None:
@@ -258,6 +274,21 @@ class DurabilityManager:
             return
         self._append({"t": "pubgen", "app": app, "g": generation})
 
+    def log_outbox(self, service_name: str, entry: Dict[str, Any]) -> None:
+        """A raw write committed its data row + outbox entry. The entry
+        carries everything replay needs to restore both."""
+        if self._restoring:
+            return
+        self._append({"t": "obx", "svc": service_name, "e": dict(entry)})
+
+    def log_cdc_cursor(self, service_name: str, cursor: int) -> None:
+        """CDC poller batch checkpoint — keeps an idle tail's position
+        durable across compaction even when no piggybacked ``out``
+        record follows."""
+        if self._restoring:
+            return
+        self._append({"t": "cdc", "svc": service_name, "cur": cursor})
+
     # -- snapshot ------------------------------------------------------------
 
     def maybe_snapshot(self) -> Optional[int]:
@@ -335,6 +366,9 @@ class DurabilityManager:
             flow = queue.flow
             durable["shed"] = flow.shed_ledger() if flow is not None else {}
             state["queues"][queue.name] = durable
+        cdc = getattr(eco, "cdc", None)
+        if cdc is not None:
+            state["cdc"] = cdc.cursors()
         return state
 
     # -- restore -------------------------------------------------------------
@@ -345,6 +379,7 @@ class DurabilityManager:
         N tail records (crash-point tests replaying every prefix)."""
         report = RestoreReport()
         self._restoring = True
+        self.cdc_cursors = {}
         try:
             snapshot = self.snapshots.load_latest()
             start = None
@@ -422,6 +457,13 @@ class DurabilityManager:
                 views = getattr(service, "views", None)
                 if views is not None:
                     views.rebuild()
+            # CDC pollers resume from the restored cursors, and each
+            # outbox re-derives its next sequence from the restored
+            # rows so new raw writes cannot collide with replayed ones.
+            cdc = getattr(self.ecosystem, "cdc", None)
+            if cdc is not None:
+                cdc.adopt_cursors(self.cdc_cursors)
+                cdc.resync()
             if replay_error is not None:
                 report.unrecoverable = True
                 report.error = str(replay_error)
@@ -488,6 +530,8 @@ class DurabilityManager:
                     app: dict(ledger)
                     for app, ledger in queue_state["shed"].items()
                 }
+        for svc_name, cursor in snapshot.get("cdc", {}).items():
+            self._advance_cdc_cursor(svc_name, cursor)
         return max_seq
 
     def _restore_rows(
@@ -616,8 +660,56 @@ class DurabilityManager:
                 pvs = service.publisher_version_store
                 for hashed, (ops, version) in rec.get("vs", {}).items():
                     _pvs_fast_forward(pvs, hashed, ops, version)
-                self._replay_publisher_rows(service, message)
+                if message.cdc is None:
+                    # CDC messages restore publisher rows from their obx
+                    # records, which sit at *commit* position in the WAL.
+                    # The out record is appended at poll time, so its row
+                    # attributes can be stale by then (a later raw update
+                    # committed between the write and the poll) — replaying
+                    # them here would clobber the newer obx-replayed state.
+                    self._replay_publisher_rows(service, message)
+                if rec.get("cur") is not None:
+                    self._advance_cdc_cursor(rec["app"], rec["cur"])
+        elif kind == "obx":
+            service = eco.local_service(rec["svc"])
+            if service is not None:
+                self._replay_outbox(service, rec["e"])
+        elif kind == "cdc":
+            self._advance_cdc_cursor(rec["svc"], rec["cur"])
         return max_seq
+
+    def _advance_cdc_cursor(self, service_name: str, cursor: int) -> None:
+        """Set-to-max: a replayed piggyback may trail a later checkpoint
+        (or the snapshot's captured cursor)."""
+        self.cdc_cursors[service_name] = max(
+            self.cdc_cursors.get(service_name, 0), int(cursor)
+        )
+
+    def _replay_outbox(self, service: Any, entry: Dict[str, Any]) -> None:
+        """Replay one ``obx`` record: restore the raw-written data row
+        and the outbox row itself (dedup by ``id == seq`` — snapshots
+        may already carry both)."""
+        from repro.cdc.outbox import OUTBOX_MODEL_NAME, entry_row
+
+        model_cls = service.registry.get(entry.get("model", ""))
+        if model_cls is not None:
+            mapper = model_cls.__mapper__
+            if mapper is not None and mapper.db is not None:
+                if entry["kind"] == "delete":
+                    if mapper._do_find(entry["row_id"]) is not None:
+                        mapper._do_delete(entry["row_id"])
+                else:
+                    row = entry_row(entry)
+                    _raw_upsert(mapper, model_cls, entry["row_id"], row)
+        outbox_cls = service.registry.get(OUTBOX_MODEL_NAME)
+        if outbox_cls is not None:
+            outbox_mapper = outbox_cls.__mapper__
+            if (
+                outbox_mapper is not None
+                and outbox_mapper.db is not None
+                and outbox_mapper._do_find(entry["id"]) is None
+            ):
+                outbox_mapper._do_insert(dict(entry))
 
     def _uid_applied(self, queue_name: str, uid: str) -> bool:
         """Was this uid already applied by the queue's subscriber? The

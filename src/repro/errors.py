@@ -120,6 +120,11 @@ class MigrationError(SynapseError):
     """A live schema migration rule of §4.3 was violated."""
 
 
+class CdcError(SynapseError):
+    """CDC / transactional-outbox failure: a malformed or newer-versioned
+    outbox row, a raw write on an unbound model, or a poller misuse."""
+
+
 # --------------------------------------------------------------------------
 # Durability errors
 # --------------------------------------------------------------------------

@@ -64,10 +64,14 @@ class LagReport:
     #: Deficit attributable to deliberate flow-control shedding,
     #: already excluded from ``version_lag`` (backpressure, not loss).
     shed_deficit: int = 0
+    #: Committed-but-unpublished CDC outbox entries on the publisher.
+    #: Outbox-tail lag is transit, not §6.5 loss: the entries are
+    #: durable and the poller will publish them (docs/cdc.md).
+    outbox_pending: int = 0
 
     @property
     def in_transit(self) -> int:
-        return self.queued + self.in_flight
+        return self.queued + self.in_flight + self.outbox_pending
 
 
 @dataclass
@@ -115,6 +119,8 @@ class AuditReport:
             )
             if report.shed_deficit:
                 line += f" shed_deficit={report.shed_deficit}"
+            if report.outbox_pending:
+                line += f" outbox_pending={report.outbox_pending}"
             lines.append(line + f" [{state}]")
         for audit in self.models:
             status = "in sync" if audit.in_sync else (
@@ -227,6 +233,10 @@ class ReplicationAuditor:
             report.published = stats["published"]
             report.acked = stats["acked"]
             report.decommissioned = bool(stats["decommissioned"])
+        # CDC outbox tail on the publisher: committed raw writes the
+        # poller has not published yet count as in transit, so an audit
+        # taken mid-tail reports lag rather than suspected loss.
+        report.outbox_pending = service.ecosystem.control.outbox_lag(app)
         # Publisher watermark read: a control-plane request (None when
         # the publisher is unreachable — then lag stays transit-only).
         watermarks = service.ecosystem.control.watermarks(app)

@@ -63,6 +63,8 @@ INV_LEAK = "drain.no-leaked-deliveries"
 INV_FLOW = "flow.admission-safety"
 INV_DURABLE = "durability.restore-equivalence"
 INV_VIEW = "views.read-freshness"
+INV_CDC = "cdc.outbox-delivery"
+INV_SAGA = "saga.inventory-balance"
 
 
 @dataclass
@@ -110,6 +112,14 @@ class DeliveryChecker:
         #: Set by the harness when the schedule runs with views: the
         #: quiescent aggregate check compares incremental vs recomputed.
         self.views: Optional[Any] = None
+        #: Set by the harness on CDC schedules: the publisher's outbox
+        #: table, checked at quiescence (every entry published, cursor
+        #: caught up to the max sequence).
+        self.outbox: Optional[Any] = None
+        self.cdc_poller: Optional[Any] = None
+        #: Set by the saga workload: a callable returning a list of
+        #: (detail,) strings for every INV_SAGA imbalance at quiescence.
+        self.saga: Optional[Any] = None
         #: key -> latest invalidation version (the applied frontier).
         self.cache_frontier: Dict[str, int] = {}
         self.cache_hits = 0
@@ -398,4 +408,20 @@ class DeliveryChecker:
                             f"recomputed={recomputed!r}",
                         )
                     )
+        if self.outbox is not None and self.cdc_poller is not None:
+            # INV_CDC: a quiescent schedule may not leave committed
+            # outbox entries untailed — every raw write must have been
+            # fed to the publisher path before the run declared idle.
+            pending = self.outbox.backlog(self.cdc_poller.cursor)
+            if pending:
+                self.violations.append(
+                    Violation(
+                        INV_CDC,
+                        f"{pending} committed outbox entries never "
+                        f"published (cursor={self.cdc_poller.cursor})",
+                    )
+                )
+        if self.saga is not None:
+            for detail in self.saga():
+                self.violations.append(Violation(INV_SAGA, detail))
         return self.violations

@@ -63,6 +63,7 @@ def conformance_command(args: List[str]) -> int:
         flow="--flow" in args,
         durability="--durability" in args,
         views="--views" in args,
+        cdc="--cdc" in args,
     )
 
     if seed is not None:
@@ -102,7 +103,7 @@ def conformance_command(args: List[str]) -> int:
     print(
         f"sweeping {len(configs)} schedules "
         f"({seeds} seeds x {len(modes)} modes, "
-        "plain + crash-recovery + flow + durability + views):"
+        "plain + crash-recovery + flow + durability + views + cdc):"
     )
     checked = 0
     for config in configs:

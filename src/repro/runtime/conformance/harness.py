@@ -73,6 +73,13 @@ class ScheduleConfig:
     #: asserts ``views.read-freshness`` (no stale cached read; at
     #: quiescence every aggregate equals recomputation).
     views: bool = False
+    #: Enable the CDC front-end: a seeded slice of the publisher's
+    #: workload bypasses the ORM through ``raw_session`` (transactional
+    #: outbox), a dedicated poller worker tails the outbox into the
+    #: publisher path, and the checker asserts ``cdc.outbox-delivery``
+    #: (no committed entry left unpublished at quiescence) on top of
+    #: the ordinary mode invariants.
+    cdc: bool = False
     max_steps: int = 50_000
 
     def describe(self) -> str:
@@ -91,6 +98,8 @@ class ScheduleConfig:
             extras.append("durability")
         if self.views:
             extras.append("views")
+        if self.cdc:
+            extras.append("cdc")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"mode={self.mode} seed={self.seed}{suffix}"
 
@@ -134,6 +143,8 @@ class ScheduleResult:
             parts.append("--durability")
         if self.config.views:
             parts.append("--views")
+        if self.config.cdc:
+            parts.append("--cdc")
         return " ".join(parts)
 
 
@@ -145,6 +156,28 @@ def _build_script(config: ScheduleConfig, rng: random.Random) -> List[Tuple]:
     ops: List[Tuple] = [("create", i) for i in range(n_objects)]
     for _ in range(max(0, config.messages - n_objects)):
         ops.append(("update", rng.randrange(n_objects)))
+    if config.cdc:
+        # A seeded slice of the workload bypasses the ORM: raw creates
+        # and updates over a disjoint object-id space, riffled into the
+        # ORM ops preserving each stream's internal order (a raw update
+        # must follow its raw create).
+        n_raw = max(1, config.messages // 4)
+        raw_ops: List[Tuple] = [("raw-create", i) for i in range(n_raw)]
+        for _ in range(max(1, config.messages // 3) - n_raw):
+            raw_ops.append(("raw-update", rng.randrange(n_raw)))
+        merged: List[Tuple] = []
+        i = j = 0
+        while i < len(ops) or j < len(raw_ops):
+            take_raw = j < len(raw_ops) and (
+                i >= len(ops) or rng.random() < 0.4
+            )
+            if take_raw:
+                merged.append(raw_ops[j])
+                j += 1
+            else:
+                merged.append(ops[i])
+                i += 1
+        ops = merged
     if config.generation_bump:
         ops.insert(rng.randrange(n_objects, len(ops) + 1), ("bump",))
     if config.faults:
@@ -165,6 +198,7 @@ class ConformanceHarness:
         self.script = _build_script(config, self.workload_rng)
         self.publisher_done = False
         self.crashed_uids: set = set()
+        self._raw_rows: List[Dict[str, Any]] = []
         self._phase1_workers = 0
         self._instances: List[Any] = []
         # Trace normalization: message uids embed a process-global
@@ -176,6 +210,9 @@ class ConformanceHarness:
         self.checker = DeliveryChecker(self.sub.subscriber)
         if config.views:
             self.checker.views = self.sub.views
+        if config.cdc:
+            self.checker.outbox = self.pub.outbox
+            self.checker.cdc_poller = self.pub.cdc_poller
         self.scheduler = InterleavingScheduler(
             seed=config.seed, max_steps=config.max_steps
         )
@@ -236,6 +273,8 @@ class ConformanceHarness:
             views.declare(CountView("docs", "Doc"))
             views.declare(SumView("total", "Doc", "value"))
             views.declare(TopKView("top", "Doc", "value", k=3))
+        if config.cdc:
+            pub.enable_outbox()
         return eco, pub, sub, PubDoc
 
     def _build_ecosystem(self) -> None:
@@ -288,7 +327,7 @@ class ConformanceHarness:
             restored = self._normalized_durable_state(
                 manager2._capture_state()
             )
-            for section in ("generations", "services", "queues"):
+            for section in ("generations", "services", "queues", "cdc"):
                 if restored.get(section) != live.get(section):
                     violations.append(
                         Violation(
@@ -353,6 +392,22 @@ class ConformanceHarness:
                     with self.pub.controller():
                         instance.value += 1
                         instance.save()
+                elif op[0] == "raw-create":
+                    raw = self.pub.raw_session()
+                    row = raw.insert(
+                        self.doc_cls, {"name": f"raw-{op[1]}", "value": 0}
+                    )
+                    self._raw_rows.append(row)
+                    observe_point("pub.raw_write", kind="create")
+                elif op[0] == "raw-update":
+                    raw = self.pub.raw_session()
+                    row = self._raw_rows[op[1]]
+                    updated = raw.update(
+                        self.doc_cls, row["id"],
+                        {"value": (row.get("value") or 0) + 1},
+                    )
+                    self._raw_rows[op[1]] = updated
+                    observe_point("pub.raw_write", kind="update")
                 elif op[0] == "bump":
                     self.pub.recover_publisher_version_store()
                     observe_point("pub.generation_bump")
@@ -368,6 +423,10 @@ class ConformanceHarness:
         nothing queued, and anything still unacked belongs to a crashed
         worker (the recovery worker's problem, not ours)."""
         if not self.publisher_done:
+            return False
+        if self.config.cdc and not self.pub.cdc_poller.idle():
+            # Committed outbox entries the poller has not published yet
+            # are pending work, not quiescence.
             return False
         queue = self.sub.subscriber.queue
         if len(queue):
@@ -472,6 +531,20 @@ class ConformanceHarness:
                 )
                 return
 
+    def _cdc_loop(self, wid: str) -> None:
+        """The CDC poller as a scheduled virtual worker: tails the
+        publisher's outbox into the publisher path, interleaved with the
+        ORM workload and the subscriber workers by the scheduler."""
+        poller = self.pub.cdc_poller
+        while True:
+            yield_point("cdc.tick", worker=wid)
+            published = poller.poll()
+            if published:
+                observe_point("cdc.published", worker=wid, count=published)
+            if self.publisher_done and poller.idle():
+                observe_point("cdc.drained", worker=wid)
+                return
+
     def _reader_loop(self, wid: str) -> None:
         """The read-path worker: races cache-aside view reads against
         the apply stream. Every read emits ``cache.read`` events the
@@ -528,6 +601,8 @@ class ConformanceHarness:
             self.scheduler.add_worker(
                 "reader", lambda: self._reader_loop("reader")
             )
+        if config.cdc:
+            self.scheduler.add_worker("cdc", lambda: self._cdc_loop("cdc"))
 
         stuck: Optional[SchedulerStuck] = None
         try:
@@ -611,8 +686,11 @@ def default_matrix(
     (coalescing + batched group-commit apply), a durability variant
     (WAL everything, then prove restore-equivalence), and a read-path
     variant (views + cache racing a reader worker, with flow on so
-    coalescing and batched apply must preserve invalidation), with
-    broker faults folded into a slice of the seeds."""
+    coalescing and batched apply must preserve invalidation), and a CDC
+    variant (a seeded slice of the workload bypasses the ORM through
+    the transactional outbox, with a poller worker racing the
+    subscribers), with broker faults folded into a slice of the
+    seeds."""
     base = base or ScheduleConfig()
     configs: List[ScheduleConfig] = []
     for mode in modes or [CAUSAL, GLOBAL, WEAK]:
@@ -661,6 +739,19 @@ def default_matrix(
                     faults=0,
                     crash_recovery=False,
                     durability=False,
+                )
+            )
+            configs.append(
+                replace(
+                    base,
+                    mode=mode,
+                    seed=seed,
+                    cdc=True,
+                    faults=0,
+                    crash_recovery=False,
+                    flow=False,
+                    durability=False,
+                    views=False,
                 )
             )
     return configs

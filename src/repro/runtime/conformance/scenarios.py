@@ -30,6 +30,11 @@ reports checker violations under the same stable invariant names:
   uncatchable version — a child process SIGKILLs *itself* mid-append
   via a hard crash injector, and the parent restores from the orphaned
   WAL and audits the replicas back to digest-equality.
+- :func:`cdc_poll_crash_scenario` / :func:`cdc_kill_restart_scenario`
+  (``cdc.outbox-delivery``): crash the CDC poller mid-tail — before or
+  after its cursor checkpoint, softly or by genuine SIGKILL — and
+  prove a restore re-tails the outbox to digest-equal replicas with
+  zero lost raw writes.
 
 The module also pins the *committed schedules* for the two interleaving
 races (generation gate vs in-flight deliveries; ack after
@@ -48,6 +53,7 @@ from repro.broker.message import Message
 from repro.broker.queue import SubscriberQueue
 from repro.errors import QueueDecommissioned
 from repro.runtime.conformance.checker import (
+    INV_CDC,
     INV_DURABLE,
     INV_FLOW,
     INV_IDLE,
@@ -712,6 +718,238 @@ def durability_kill_restart_scenario(timeout: float = 30.0) -> List[Violation]:
     return violations
 
 
+def _cdc_scenario_eco(data_dir: str) -> Tuple[Any, ...]:
+    """The durability fixture with the publisher's CDC front-end armed:
+    raw writes go through the transactional outbox and the poller tails
+    them into the ordinary publisher path."""
+    eco, pub, sub, manager, doc_cls = _durability_scenario_eco(
+        data_dir, "off"
+    )
+    pub.enable_outbox()
+    return eco, pub, sub, manager, doc_cls
+
+
+def cdc_poll_crash_scenario(point: str, writes: int = 8) -> List[Violation]:
+    """Crash the CDC poller at one poll crash point, then prove a fresh
+    restore over the same data dir re-tails the outbox without losing a
+    single committed raw write.
+
+    ``before-publish``/``after-publish`` crash mid-tail (the cursor
+    checkpoint has not been written yet — recovery leans on the cursor
+    piggybacked onto the ``out`` WAL records); ``after-checkpoint``
+    crashes once the checkpoint record is durable. In every case the
+    restored ecosystem must drain to digest-equal replicas with the
+    cursor caught up to the outbox tail."""
+    import shutil
+    import tempfile
+
+    from repro.cdc import PollCrash
+    from repro.durability.wal import SimulatedCrash
+
+    after = 1 if point == "after-checkpoint" else 3
+    data_dir = tempfile.mkdtemp(prefix="repro-conf-cdc-")
+    violations: List[Violation] = []
+    manager_b = None
+    try:
+        eco_a, pub_a, sub_a, manager_a, doc_cls = _cdc_scenario_eco(data_dir)
+        raw = pub_a.raw_session()
+        for i in range(writes):
+            raw.insert(doc_cls, {"name": f"cdc-{i}", "value": i})
+        pub_a.cdc_poller.injector = PollCrash(point, after=after)
+        crashed = False
+        try:
+            eco_a.cdc.poll_all()
+        except SimulatedCrash:
+            crashed = True
+        if not crashed:
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"poll crash injector at {point!r} never fired — the "
+                    "scenario exercised nothing",
+                )
+            )
+            return violations
+        manager_a.wal.drop_buffered_tail()
+        # Ecosystem A is abandoned unclosed, cursor checkpoint possibly
+        # missing: that is what a poller crash means.
+
+        eco_b, pub_b, sub_b, manager_b, _ = _cdc_scenario_eco(data_dir)
+        report = manager_b.restore()
+        if report.unrecoverable:
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"restore after a {point!r} poll crash reported "
+                    f"unrecoverable: {report.error}",
+                )
+            )
+            return violations
+        eco_b.drain_all()
+        poller_b = pub_b.cdc_poller
+        if not poller_b.idle():
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"{poller_b.backlog()} outbox entries still unpublished "
+                    f"after restore from a {point!r} poll crash "
+                    f"(cursor={poller_b.cursor})",
+                )
+            )
+        audit = sub_b.audit_replication()
+        if not audit.in_sync:
+            result = sub_b.repair_replication(report=audit)
+            if not result.verified_in_sync:
+                violations.append(
+                    Violation(
+                        INV_CDC,
+                        f"replicas still divergent after a {point!r} poll "
+                        f"crash, restore (replayed={report.replayed}) and "
+                        "targeted repair",
+                    )
+                )
+        sub_mapper = sub_b.registry.get("Doc").__mapper__
+        sub_rows = len(sub_mapper._do_where({}, None, None))
+        if sub_rows != writes:
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"subscriber holds {sub_rows}/{writes} raw-written rows "
+                    f"after a {point!r} poll crash and restore",
+                )
+            )
+    finally:
+        if manager_b is not None:
+            manager_b.close()
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return violations
+
+
+def _cdc_kill_child(data_dir: str, conn: Any) -> None:
+    """Child half of the CDC kill-restart scenario: raw-write a batch,
+    then tail it with a *hard* poll injector armed — the Nth publish
+    SIGKILLs this process mid-tail."""
+    from repro.cdc import PollCrash
+
+    try:
+        eco, pub, sub, manager, doc_cls = _cdc_scenario_eco(data_dir)
+        raw = pub.raw_session()
+        for i in range(16):
+            raw.insert(doc_cls, {"name": f"kill-{i}", "value": i})
+        pub.cdc_poller.injector = PollCrash(
+            "after-publish", after=5, hard=True
+        )
+        eco.cdc.poll_all()
+        conn.send(("survived", None))
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+
+
+def cdc_kill_restart_scenario(
+    timeout: float = 30.0, writes: int = 16
+) -> List[Violation]:
+    """The acceptance crash: SIGKILL the process hosting the CDC poller
+    mid-tail, restore over the same data dir, and prove digest-equal
+    replicas with zero lost outbox entries."""
+    import multiprocessing
+    import shutil
+    import signal
+    import tempfile
+
+    data_dir = tempfile.mkdtemp(prefix="repro-conf-cdc-kill-")
+    violations: List[Violation] = []
+    manager = None
+    try:
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_cdc_kill_child,
+            args=(data_dir, child_conn),
+            name="conformance-cdc-kill-child",
+        )
+        process.start()
+        child_conn.close()
+        process.join(timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(5.0)
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"cdc kill-restart child hung past {timeout:.0f}s "
+                    "instead of dying at its poll crash point",
+                )
+            )
+            return violations
+        if process.exitcode != -signal.SIGKILL:
+            detail = ""
+            if parent_conn.poll(0):
+                try:
+                    detail = f" ({parent_conn.recv()})"
+                except EOFError:
+                    pass
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"cdc child exited {process.exitcode} instead of dying "
+                    f"by SIGKILL{detail}",
+                )
+            )
+            return violations
+
+        eco, pub, sub, manager, _ = _cdc_scenario_eco(data_dir)
+        report = manager.restore()
+        if report.unrecoverable:
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"restore after poller SIGKILL reported unrecoverable: "
+                    f"{report.error}",
+                )
+            )
+            return violations
+        eco.drain_all()
+        pub_mapper = pub.registry.get("Doc").__mapper__
+        pub_rows = len(pub_mapper._do_where({}, None, None))
+        if pub_rows != writes:
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"{writes - pub_rows} raw writes lost to the poller "
+                    f"SIGKILL: publisher holds {pub_rows}/{writes} rows "
+                    "after restore",
+                )
+            )
+        if not pub.cdc_poller.idle():
+            violations.append(
+                Violation(
+                    INV_CDC,
+                    f"{pub.cdc_poller.backlog()} outbox entries still "
+                    "unpublished after restore from poller SIGKILL",
+                )
+            )
+        audit = sub.audit_replication()
+        if not audit.in_sync:
+            result = sub.repair_replication(report=audit)
+            if not result.verified_in_sync:
+                violations.append(
+                    Violation(
+                        INV_CDC,
+                        "replicas still divergent after poller SIGKILL, "
+                        f"restore (replayed={report.replayed}) and targeted "
+                        "repair",
+                    )
+                )
+    finally:
+        if manager is not None:
+            manager.close()
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return violations
+
+
 def run_directed_scenarios() -> Dict[str, List[Violation]]:
     """All directed scenarios; the CLI runs these before sweeping."""
     return {
@@ -726,4 +964,9 @@ def run_directed_scenarios() -> Dict[str, List[Violation]]:
         "durability.crash-before-ack":
             durability_crash_point_scenario("before-ack"),
         "durability.kill-restart": durability_kill_restart_scenario(),
+        "cdc.poller-crash-before-checkpoint":
+            cdc_poll_crash_scenario("after-publish"),
+        "cdc.poller-crash-after-checkpoint":
+            cdc_poll_crash_scenario("after-checkpoint"),
+        "cdc.kill-restart": cdc_kill_restart_scenario(),
     }

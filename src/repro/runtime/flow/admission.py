@@ -122,13 +122,17 @@ class QueueFlow:
         # Credits exhausted (or depth already past the high watermark):
         # the graduated zone between the high watermark and the kill
         # cliff. Bootstrap/repair traffic is exempt from shedding — it
-        # is the recovery path for earlier sheds.
+        # is the recovery path for earlier sheds. CDC-ingested messages
+        # are likewise exempt: their outbox entry is already durably
+        # committed publisher-side, so shedding one would turn an
+        # acknowledged raw write into silent divergence (docs/cdc.md).
         mode = self._mode_of(message.app) or WEAK
         if (
             mode == WEAK
             and self.config.shed_weak
             and not message.bootstrap
             and not message.repair
+            and message.cdc is None
         ):
             self._set_state(STATE_SHEDDING)
             self.shed.increment()

@@ -223,16 +223,23 @@ class ClusterPlane:
         }
 
     def local_idle_state(self, drain: bool = False) -> Dict[str, int]:
+        cdc = getattr(self.ecosystem, "cdc", None)
         if drain:
+            if cdc is not None:
+                # Tail outboxes first: a raw write the poller has not
+                # published yet is in-flight work, not idleness.
+                cdc.poll_all()
             for service in self.ecosystem.local_services():
                 service.subscriber.drain()
         broker = self.ecosystem.broker
         backlog = sum(broker.backlog().values())
         in_flight = sum(broker.in_flight().values())
+        outbox = cdc.backlog() if cdc is not None else 0
         return {
-            "idle": int(backlog == 0 and in_flight == 0),
+            "idle": int(backlog == 0 and in_flight == 0 and outbox == 0),
             "backlog": backlog,
             "in_flight": in_flight,
+            "outbox": outbox,
             "sent": sum(link.data_sent for link in self.links.values()),
             "received": sum(link.data_received for link in self.links.values()),
         }
@@ -631,14 +638,19 @@ def cluster_quiesce(
         dead: List[str] = []
         if cluster is None:
             # Single-process ecosystem: drain locally, no counters to
-            # balance.
+            # balance. With CDC enabled the outbox tail is drained
+            # first and counts against idleness like queue backlog.
+            cdc = getattr(ecosystem, "cdc", None)
+            if cdc is not None:
+                cdc.poll_all()
             for service in ecosystem.local_services():
                 service.subscriber.drain()
             broker = ecosystem.broker
             backlog = sum(broker.backlog().values())
             in_flight = sum(broker.in_flight().values())
+            outbox = cdc.backlog() if cdc is not None else 0
             states.append({
-                "idle": int(backlog == 0 and in_flight == 0),
+                "idle": int(backlog == 0 and in_flight == 0 and outbox == 0),
                 "sent": 0, "received": 0,
             })
         else:

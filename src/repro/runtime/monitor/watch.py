@@ -73,6 +73,10 @@ def _build_demo_ecosystem() -> Tuple[Any, Any, Any, type]:
     views.declare(CountView("item_count", "Item"))
     views.declare(SumView("score_total", "Item", "score"))
 
+    # CDC front-end on: a slice of each round's writes bypasses the ORM
+    # through the transactional outbox, so the cdc row is live too.
+    pub.enable_outbox()
+
     return eco, pub, sub, Item
 
 
@@ -153,6 +157,13 @@ def _render_round(eco: Any, round_no: int) -> List[str]:
         f"misses={_prefixed_sum('cache.', '.misses')} "
         f"invalidations={_prefixed_sum('cache.', '.invalidations')} "
         f"write_through={_prefixed_sum('cache.', '.write_throughs')}"
+    )
+    cdc = getattr(eco, "cdc", None)
+    lines.append(
+        "  cdc: "
+        f"appended={_prefixed_sum('cdc.', '.appended')} "
+        f"published={_prefixed_sum('cdc.', '.published')} "
+        f"outbox_lag={cdc.backlog() if cdc is not None else 0}"
     )
     anomalies = eco.recorder.anomalies()
     lines.append(
@@ -282,6 +293,7 @@ def watch_command(args: List[str]) -> int:
     try:
         while True:
             round_no += 1
+            raw = pub.raw_session()
             with pub.controller():
                 for i in range(writes):
                     if items and i % 2:
@@ -292,6 +304,12 @@ def watch_command(args: List[str]) -> int:
                         items.append(
                             item_cls.create(name=f"item-{round_no}-{i}", score=0)
                         )
+            # A few raw writes per round keep the cdc row live.
+            for i in range(max(1, writes // 5)):
+                raw.insert(
+                    "Item", {"name": f"raw-{round_no}-{i}", "score": 0}
+                )
+            eco.cdc.poll_all()
             sub.subscriber.drain()
             # Exercise the read path so the cache row has live numbers.
             sub.views.read("item_count")

@@ -162,6 +162,15 @@ class ControlPlane:
         result = self._request_or_none(service_name, "watermarks")
         return None if result is None else result["versions"]
 
+    def outbox_lag(self, service_name: str) -> int:
+        """Unpublished CDC outbox entries on the publisher (0 when the
+        peer is unreachable, predates the op, or has no outbox)."""
+        try:
+            result = self._request_or_none(service_name, "outbox_lag")
+        except ControlPlaneError:
+            return 0
+        return int(result["pending"]) if result else 0
+
     def bootstrap_snapshot(self, service_name: str) -> Dict[str, Any]:
         """{"versions": {...}, "generation": n} — bootstrap step 1 (§4.4)."""
         return self.request(service_name, "bootstrap_snapshot")

@@ -34,6 +34,7 @@ class ControlPlaneHandler:
             "model_digest": self._op_model_digest,
             "model_schema": self._op_model_schema,
             "publish_repairs": self._op_publish_repairs,
+            "outbox_lag": self._op_outbox_lag,
         }
 
     def handle(self, request: ControlRequest) -> ControlResponse:
@@ -62,6 +63,16 @@ class ControlPlaneHandler:
     def _op_watermarks(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """Publisher version-store snapshot: hashed_dep -> ops counter."""
         return {"versions": self.service.publisher_version_store.snapshot()}
+
+    def _op_outbox_lag(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Unpublished CDC outbox entries on this publisher. The auditor
+        folds this into in-transit lag: a committed raw write whose entry
+        the poller has not tailed yet is late, not lost (docs/cdc.md)."""
+        cdc = getattr(self.service.ecosystem, "cdc", None)
+        pending = (
+            cdc.outbox_pending(self.service.name) if cdc is not None else 0
+        )
+        return {"pending": pending}
 
     def _op_bootstrap_snapshot(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """Bootstrap step 1 payload: counters plus the generation the

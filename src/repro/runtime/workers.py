@@ -28,6 +28,7 @@ class WorkerFleet:
     """
 
     def __init__(self, ecosystem: Any, workers: int = 4, **pool_kwargs: Any) -> None:
+        self.ecosystem = ecosystem
         # Only locally-owned services get worker pools: in a process-
         # sharded run each shard drains exactly its own queues.
         self.pools: List["SubscriberWorkerPool"] = [
@@ -54,14 +55,33 @@ class WorkerFleet:
         across every round and pool. Granting each pool the full budget
         would let a busy fleet block for ``settle_rounds × pools ×
         timeout`` — 24x the caller's stated patience at the defaults.
+
+        With CDC enabled, idle additionally requires every outbox tail
+        to be empty: a raw write whose entry the poller has not yet
+        published is in-flight work, and reporting idle over it would
+        let callers observe a missing replica row. Each pass tails the
+        outboxes first, then re-checks after the pools settle.
         """
         deadline = time.monotonic() + timeout
-        for _ in range(settle_rounds):
-            for pool in self.pools:
-                remaining = deadline - time.monotonic()
-                if not pool.wait_until_idle(timeout=max(0.0, remaining)):
-                    return False
-        return True
+        while True:
+            cdc = self._cdc_manager()
+            if cdc is not None:
+                cdc.poll_all()
+            for _ in range(settle_rounds):
+                for pool in self.pools:
+                    remaining = deadline - time.monotonic()
+                    if not pool.wait_until_idle(timeout=max(0.0, remaining)):
+                        return False
+            if cdc is None or cdc.idle():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+
+    def _cdc_manager(self) -> Optional[Any]:
+        # getattr-tolerant: directed scenarios build bare fleets via
+        # ``__new__`` with only ``pools`` populated.
+        ecosystem = getattr(self, "ecosystem", None)
+        return getattr(ecosystem, "cdc", None)
 
     def __enter__(self) -> "WorkerFleet":
         return self.start()
@@ -182,8 +202,18 @@ class SubscriberWorkerPool:
             try:
                 errored = False
                 try:
+                    # First delivery probes without blocking: when the
+                    # queue holds out-of-order messages, burning the
+                    # full dependency wait on each one serialises
+                    # chain-head discovery at wait_timeout per pop
+                    # (with every worker parked, nothing progresses at
+                    # all). A fast defer scans the queue in one cheap
+                    # rotation instead; redeliveries block as before so
+                    # an in-flight predecessor still satisfies us
+                    # without another round trip through the queue.
+                    first = message.delivery_count <= 1
                     done = subscriber.process_message(
-                        message, wait_timeout=self.wait_timeout
+                        message, wait_timeout=0.0 if first else self.wait_timeout
                     )
                 except Exception:
                     # A transient engine fault (or poisonous payload) must

@@ -45,7 +45,7 @@ class TestMessageGolden:
     def test_plain_message_exact_payload(self):
         payload = json.loads(make_message().to_json())
         assert payload == {
-            "wire_version": 2,
+            "wire_version": 3,
             "uid": "pub:41",
             "app": "pub",
             "operations": [{
@@ -116,12 +116,25 @@ class TestMessageGolden:
         del data["wire_version"]
         assert Message.from_json(json.dumps(data)).uid == "pub:41"
 
-    def test_v1_payload_still_parses(self):
+    def test_older_payloads_still_parse(self):
         # Receivers refuse only *newer* versions: a v1 sender (pre
-        # trace-context shards) must interoperate with a v2 receiver.
-        data = json.loads(make_message().to_json())
-        data["wire_version"] = 1
-        assert Message.from_json(json.dumps(data)).uid == "pub:41"
+        # trace-context shards) or v2 sender (pre CDC front-end) must
+        # interoperate with a v3 receiver.
+        for version in (1, 2):
+            data = json.loads(make_message().to_json())
+            data["wire_version"] = version
+            assert Message.from_json(json.dumps(data)).uid == "pub:41"
+
+    def test_cdc_field_is_conditional(self):
+        # v3: CDC-ingested messages carry the outbox sequence; ORM-path
+        # messages stay byte-identical to v2 modulo the version field.
+        payload = json.loads(make_message(cdc=17).to_json())
+        assert payload["cdc"] == 17
+        back = Message.from_json(make_message(cdc=17).to_json())
+        assert back.cdc == 17
+        plain = json.loads(make_message().to_json())
+        assert "cdc" not in plain
+        assert Message.from_json(make_message().to_json()).cdc is None
 
 
 class TestControlEnvelopeGolden:

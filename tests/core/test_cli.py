@@ -88,7 +88,8 @@ class TestCLI:
         assert main(["watch", "--once", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["health"]["links"][0]["status"] == "ok"
-        assert payload["metrics"]["broker.routed"] == 20
+        # 20 ORM writes plus the round's writes//5 = 4 raw CDC writes.
+        assert payload["metrics"]["broker.routed"] == 24
 
     def test_help_mentions_repair_and_watch(self, capsys):
         assert main(["--help"]) == 0

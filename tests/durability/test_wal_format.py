@@ -114,7 +114,7 @@ class TestPipelineRecordGolden:
         assert set(out) == {"t", "app", "m", "vs"}
         assert out["app"] == "pub"
         # The embedded payload is the golden wire format, trace dropped.
-        assert out["m"]["wire_version"] == 2
+        assert out["m"]["wire_version"] == 3
         assert "trace" not in out["m"]
         assert all(
             len(pair) == 2 for pair in out["vs"].values()
